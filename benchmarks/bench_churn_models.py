@@ -1,0 +1,29 @@
+"""Experiments M2, M3 — timed wrappers over repro.experiments.
+
+Node on/off churn and mobility-model robustness of the maintenance
+layer; see :mod:`repro.experiments.churn`.
+"""
+
+from bench_utils import run_once, show
+from repro.experiments import get
+
+
+def test_m2_maintenance_under_churn(benchmark):
+    exp = get("M2")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_m3_maintenance_across_mobility_models(benchmark):
+    exp = get("M3")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_m4_distributed_maintenance_convergence(benchmark):
+    exp = get("M4")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)

@@ -1,0 +1,21 @@
+"""Experiments C1, C1b — timed wrapper over repro.experiments.
+
+See the experiment module for the claim and workload; this file times
+`run`, prints the results table, and re-asserts the claim via `check`.
+"""
+
+from bench_utils import run_once, show
+from repro.experiments import get
+
+def test_c1_backbone_size_ordering(benchmark):
+    exp = get("C1")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_c1_ranking_ablation(benchmark):
+    exp = get("C1b")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)

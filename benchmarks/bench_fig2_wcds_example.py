@@ -1,0 +1,21 @@
+"""Experiments F2a, F2b — timed wrapper over repro.experiments.
+
+See the experiment module for the claim and workload; this file times
+`run`, prints the results table, and re-asserts the claim via `check`.
+"""
+
+from bench_utils import run_once, show
+from repro.experiments import get
+
+def test_fig2_example_matches_figure(benchmark):
+    exp = get("F2a")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_fig2_mwcds_never_exceeds_mcds(benchmark):
+    exp = get("F2b")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)

@@ -1,0 +1,14 @@
+"""Experiment S1 — timed wrapper over repro.experiments.
+
+See the experiment module for the claim and workload; this file times
+`run`, prints the results table, and re-asserts the claim via `check`.
+"""
+
+from bench_utils import run_once, show
+from repro.experiments import get
+
+def test_s1_positionless_vs_position_based(benchmark):
+    exp = get("S1")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)

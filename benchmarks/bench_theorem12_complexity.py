@@ -1,0 +1,28 @@
+"""Experiments T12a, T12b, T12c — timed wrappers over repro.experiments.
+
+See :mod:`repro.experiments.complexity` for the claims and workloads.
+"""
+
+from bench_utils import run_once, show
+from repro.experiments import get
+
+
+def test_theorem12_alg2_linear_messages(benchmark):
+    exp = get("T12a")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_theorem12_payload_volume_vs_wu_li(benchmark):
+    exp = get("T12b")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)
+
+
+def test_theorem12_chain_time_is_linear(benchmark):
+    exp = get("T12c")
+    rows = run_once(benchmark, exp.run)
+    show(f"{exp.experiment_id}: {exp.title}", rows)
+    exp.check(rows)

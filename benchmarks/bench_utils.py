@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benchmarks.
+
+Named distinctly from conftest.py so combined ``pytest tests/
+benchmarks/`` runs never hit a module-name collision.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.analysis import print_table
+
+
+def run_once(benchmark, experiment: Callable[[], object]):
+    """Run ``experiment`` exactly once under the benchmark timer.
+
+    The experiments are macro-benchmarks (whole pipelines); repeated
+    rounds would multiply runtime without adding information.
+    """
+    return benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+
+def show(title: str, rows: Sequence[Mapping[str, object]], columns=None) -> None:
+    """Print one experiment's results table."""
+    print_table(rows, columns=columns, title=title)

@@ -1,0 +1,1 @@
+"""Benchmark-directory conftest (helpers live in bench_utils.py)."""

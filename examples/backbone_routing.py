@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Unicast routing over the WCDS backbone (the paper's Section 4.2).
+
+Builds a network, runs Algorithm II, then routes random packets with
+the clusterhead router: source -> its clusterhead -> dominator overlay
+(2- and 3-hop list expansion) -> destination's clusterhead ->
+destination.  Prints per-packet paths for a few flows and the stretch
+distribution over many.
+
+Run:
+    python examples/backbone_routing.py [--nodes 120] [--flows 500]
+"""
+
+import argparse
+import random
+
+from repro import ClusterheadRouter, algorithm2_distributed, connected_random_udg
+from repro.analysis import print_table
+from repro.graphs import hop_distance
+from repro.wcds import bounds
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--side", type=float, default=7.0)
+    parser.add_argument("--flows", type=int, default=500)
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args()
+
+    network = connected_random_udg(args.nodes, args.side, seed=args.seed)
+    result = algorithm2_distributed(network)
+    router = ClusterheadRouter(network, result)
+    print(f"\nBackbone: {result.size} dominators "
+          f"({len(result.mis_dominators)} clusterheads, "
+          f"{len(result.additional_dominators)} connectors)")
+
+    rng = random.Random(args.seed)
+    nodes = sorted(network.nodes())
+
+    # A few example flows, spelled out.
+    print("\nExample flows (D = dominator, g = gray):")
+    for _ in range(5):
+        src, dst = rng.sample(nodes, 2)
+        path = router.route(src, dst)
+        router.validate_path(path)
+        annotated = " -> ".join(
+            f"{node}{'D' if node in result.dominators else 'g'}" for node in path
+        )
+        h = hop_distance(network, src, dst)
+        print(f"  {src} to {dst}: {annotated}   ({len(path) - 1} hops, shortest {h})")
+
+    # Stretch distribution over many flows.
+    stretches = []
+    bound_ok = True
+    for _ in range(args.flows):
+        src, dst = rng.sample(nodes, 2)
+        path = router.route(src, dst)
+        router.validate_path(path)
+        h = hop_distance(network, src, dst)
+        stretches.append((len(path) - 1) / h)
+        bound_ok &= len(path) - 1 <= bounds.topological_dilation_bound(h)
+    stretches.sort()
+    print_table(
+        [
+            {
+                "flows": args.flows,
+                "mean_stretch": sum(stretches) / len(stretches),
+                "median": stretches[len(stretches) // 2],
+                "p95": stretches[int(len(stretches) * 0.95)],
+                "worst": stretches[-1],
+                "within_3h+2": bound_ok,
+            }
+        ],
+        title="Routed stretch vs shortest UDG path",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Tour of the distributed building blocks around the WCDS backbone.
+
+Four mini-demos on one network:
+  1. leader election + convergecast (network-size counting in O(n) msgs)
+  2. protocol tracing (watch Algorithm II's message phases)
+  3. distributed routing-table construction (link-state over the WCDS)
+  4. beacon-based MIS maintenance re-converging after a mobility burst
+
+Run:
+    python examples/distributed_patterns.py [--nodes 50]
+"""
+
+import argparse
+
+from repro import connected_random_udg
+from repro.analysis import print_table
+from repro.election import count_nodes, elect_leader
+from repro.mis import id_ranking
+from repro.mobility import RandomWaypointModel
+from repro.mobility.protocol import MaintenanceSimulation
+from repro.routing import build_routing_tables
+from repro.sim import Simulator, TraceRecorder
+from repro.wcds import algorithm2_distributed
+from repro.wcds.algorithm2 import Algorithm2Node
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=50)
+    parser.add_argument("--side", type=float, default=4.5)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args()
+    network = connected_random_udg(args.nodes, args.side, seed=args.seed)
+
+    # 1. Election + convergecast.
+    election = elect_leader(network)
+    total, agg_stats = count_nodes(network, election=election)
+    print(f"\n1. Leader {election.leader} counted n={total} nodes via "
+          f"convergecast ({agg_stats.messages_sent} AGGREGATE messages; "
+          f"election itself took {election.stats.messages_sent}).")
+
+    # 2. Trace Algorithm II's phases.
+    tracer = TraceRecorder()
+    ranking = id_ranking(network)
+    sim = Simulator(
+        network, lambda ctx: Algorithm2Node(ctx, ranking), tracer=tracer
+    )
+    sim.run()
+    print("\n2. Algorithm II message phases (first transmission of each kind):")
+    for kind in ("MIS-DOMINATOR", "GRAY", "1-HOP-DOMINATORS",
+                 "2-HOP-DOMINATORS", "SELECTION", "ADDITIONAL-DOMINATOR"):
+        first = tracer.first_send_time(kind)
+        count = len(tracer.sends(kind))
+        if first is not None:
+            print(f"   t={first:6.1f}  {kind:<22} x{count}")
+    print("\n   First 6 trace lines:")
+    for line in tracer.transcript(limit=6).splitlines():
+        print(f"   {line}")
+
+    # 3. Distributed routing tables over the backbone.
+    result = algorithm2_distributed(network)
+    tables, ls_stats = build_routing_tables(network, result)
+    sample_dom = sorted(tables)[0]
+    print(f"\n3. Link-state tables built with {ls_stats.messages_sent} LSA "
+          f"transmissions; clusterhead {sample_dom} routes to "
+          f"{len(tables[sample_dom])} other clusterheads.")
+
+    # 4. Beacon maintenance after a mobility burst.
+    driver = MaintenanceSimulation(network.copy())
+    driver.run_for(6.0)
+    model = RandomWaypointModel(driver.graph, args.side,
+                                speed_range=(0.2, 0.4), seed=args.seed)
+    for _ in range(5):
+        model.step()
+        driver.run_for(2.0)
+    periods = driver.settle()
+    print(f"\n4. After a 5-step mobility burst the beacon protocol restored "
+          f"a valid MIS in {periods} period(s); "
+          f"{len(driver.dominators())} dominators now.\n")
+
+
+if __name__ == "__main__":
+    main()

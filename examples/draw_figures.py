@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's figures as SVG files.
+
+Produces, in --outdir (default ./figures):
+  figure1_udg.svg        — a unit-disk graph (Figure 1)
+  figure2_wcds.svg       — the Figure 2 example: WCDS {1,2} + black edges
+  figure6_levels.svg     — level-based (level, id) ranks (Figure 6)
+  spanner_algorithm2.svg — Algorithm II's WCDS + spanner on a random net
+  route_example.svg      — a clusterhead-routed path over the spanner
+
+Run:
+    python examples/draw_figures.py [--outdir figures]
+"""
+
+import argparse
+import os
+
+from repro import (
+    ClusterheadRouter,
+    algorithm2_distributed,
+    connected_random_udg,
+    paper_figure2_udg,
+)
+from repro.graphs import bfs_distances
+from repro.mis import greedy_mis, level_ranking
+from repro.viz import draw_levels, draw_route, draw_udg, draw_wcds
+from repro.wcds import WCDSResult
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outdir", default="figures")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+    os.makedirs(args.outdir, exist_ok=True)
+
+    def save(canvas, name):
+        path = os.path.join(args.outdir, name)
+        canvas.save(path)
+        print(f"wrote {path} ({canvas.num_elements} elements)")
+
+    # Figure 1: a unit-disk graph.
+    network = connected_random_udg(60, 5.0, seed=args.seed)
+    save(draw_udg(network), "figure1_udg.svg")
+
+    # Figure 2: the paper's example — {1, 2} is a WCDS, and the black
+    # edges form the weakly induced subgraph.
+    fig2 = paper_figure2_udg()
+    fig2_result = WCDSResult(
+        dominators=frozenset({1, 2}), mis_dominators=frozenset({1, 2})
+    )
+    save(draw_wcds(fig2, fig2_result, labels=True), "figure2_wcds.svg")
+
+    # Figure 6: level-based ranking on a small tree-ish network.
+    small = connected_random_udg(18, 2.6, seed=args.seed)
+    root = min(small.nodes())
+    levels = bfs_distances(small, root)
+    mis = greedy_mis(small, level_ranking(small, levels))
+    save(draw_levels(small, levels, mis=mis), "figure6_levels.svg")
+
+    # Algorithm II on a realistic network: WCDS + sparse spanner.
+    result = algorithm2_distributed(network)
+    save(draw_wcds(network, result), "spanner_algorithm2.svg")
+
+    # A routed path over the spanner.
+    router = ClusterheadRouter(network, result)
+    nodes = sorted(network.nodes())
+    path = router.route(nodes[0], nodes[-1])
+    save(draw_route(network, result, path), "route_example.svg")
+
+
+if __name__ == "__main__":
+    main()

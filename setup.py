@@ -1,0 +1,15 @@
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Weakly-connected dominating sets and sparse spanners in wireless "
+        "ad hoc networks (Alzoubi, Wan, Frieder - ICDCS 2003): reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy", "networkx"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -1,0 +1,18 @@
+"""Experiment harness helpers: sweeps, aggregation, table rendering."""
+
+from repro.analysis.montecarlo import monte_carlo
+from repro.analysis.sweep import Aggregate, run_trials, summarize
+from repro.analysis.tables import format_value, print_table, render_table
+from repro.analysis.report import generate_report, rows_to_markdown
+
+__all__ = [
+    "Aggregate",
+    "monte_carlo",
+    "run_trials",
+    "summarize",
+    "format_value",
+    "print_table",
+    "render_table",
+    "generate_report",
+    "rows_to_markdown",
+]

@@ -1,0 +1,55 @@
+"""Parallel Monte-Carlo trials.
+
+The sweeps in :mod:`repro.analysis.sweep` run serially; larger studies
+(hundreds of topologies per configuration) benefit from process
+parallelism.  ``monte_carlo`` maps a top-level trial function over a
+seed range with ``multiprocessing`` and aggregates like ``run_trials``.
+
+The trial callable must be picklable (a module-level function, not a
+lambda or closure) — the classic multiprocessing constraint; a helpful
+error explains it if violated.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Callable, Dict, Iterable, List, Mapping, Optional
+
+from repro.analysis.sweep import Aggregate
+
+
+def monte_carlo(
+    trial: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+    *,
+    processes: Optional[int] = None,
+) -> Dict[str, Aggregate]:
+    """Run ``trial(seed)`` across seeds, in parallel when possible.
+
+    ``processes=None`` uses the CPU count; ``processes=1`` (or a
+    single seed) falls back to a serial loop with no process overhead.
+    """
+    seed_list = list(seeds)
+    if not seed_list:
+        raise ValueError("no seeds given")
+    if processes is None:
+        processes = min(multiprocessing.cpu_count(), len(seed_list))
+    if processes <= 1 or len(seed_list) == 1:
+        results = [trial(seed) for seed in seed_list]
+    else:
+        try:
+            pickle.dumps(trial)
+        except Exception as failure:
+            raise TypeError(
+                "monte_carlo trials run in worker processes, so the "
+                "trial must be a picklable top-level function "
+                f"(got {trial!r}: {failure})"
+            ) from failure
+        with multiprocessing.Pool(processes) as pool:
+            results = pool.map(trial, seed_list)
+    samples: Dict[str, List[float]] = {}
+    for row in results:
+        for key, value in row.items():
+            samples.setdefault(key, []).append(float(value))
+    return {key: Aggregate.of(values) for key, values in samples.items()}

@@ -1,0 +1,60 @@
+"""Multi-trial experiment sweeps with simple aggregation.
+
+Every benchmark runs each configuration over several seeds and reports
+mean / max; this module keeps that machinery out of the benchmark
+files.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Mean / standard deviation / extrema of one measured quantity."""
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    count: int
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Aggregate":
+        """Aggregate a non-empty sequence of numbers."""
+        if not values:
+            raise ValueError("cannot aggregate an empty sequence")
+        values = [float(v) for v in values]
+        return cls(
+            mean=statistics.fmean(values),
+            std=statistics.pstdev(values) if len(values) > 1 else 0.0,
+            minimum=min(values),
+            maximum=max(values),
+            count=len(values),
+        )
+
+
+def run_trials(
+    trial: Callable[[int], Mapping[str, float]],
+    seeds: Iterable[int],
+) -> Dict[str, Aggregate]:
+    """Run ``trial(seed)`` for each seed; aggregate each returned key."""
+    samples: Dict[str, List[float]] = {}
+    for seed in seeds:
+        row = trial(seed)
+        for key, value in row.items():
+            samples.setdefault(key, []).append(float(value))
+    return {key: Aggregate.of(values) for key, values in samples.items()}
+
+
+def summarize(aggregates: Mapping[str, Aggregate]) -> Dict[str, float]:
+    """Flatten aggregates into ``key_mean`` / ``key_max`` columns."""
+    flat: Dict[str, float] = {}
+    for key, agg in aggregates.items():
+        flat[f"{key}_mean"] = agg.mean
+        flat[f"{key}_max"] = agg.maximum
+    return flat

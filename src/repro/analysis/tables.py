@@ -1,0 +1,59 @@
+"""Plain-text table rendering for benchmark and experiment output.
+
+Benchmarks print paper-vs-measured rows; this keeps the formatting in
+one place so every experiment reads the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_value(value) -> str:
+    """Render one cell: floats get 3 significant decimals."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = None,
+    title: str = None,
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [format_value(row.get(col, "")) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] = None,
+    title: str = None,
+) -> None:
+    """Print :func:`render_table` with surrounding blank lines."""
+    print()
+    print(render_table(rows, columns=columns, title=title))
+    print()

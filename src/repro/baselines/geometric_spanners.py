@@ -1,0 +1,72 @@
+"""Position-aware geometric spanners: RNG and Gabriel graph.
+
+The paper's introduction contrasts its *position-less* spanners with
+the position-based sparse spanners used for routing and broadcasting
+(GPSR's Gabriel graph [12], RNG-based broadcasting [15]).  These are
+the baselines that quantify what knowing node positions buys:
+
+* **Relative neighborhood graph (RNG)** — keep edge (u, v) unless some
+  witness w is closer to both u and v than they are to each other.
+* **Gabriel graph (GG)** — keep edge (u, v) unless some witness lies
+  strictly inside the disk with diameter uv.
+
+Both are connected subgraphs of a connected UDG with O(n) edges
+(RNG ⊆ GG), computable locally from positions.  Neither has a constant
+*hop* dilation guarantee — which is exactly the comparison the spanner
+benchmark draws against the WCDS spanner.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+
+
+def relative_neighborhood_graph(udg: UnitDiskGraph) -> Graph:
+    """The RNG restricted to the UDG's edges.
+
+    Edge (u, v) survives iff no common neighbor w has
+    ``max(|uw|, |vw|) < |uv|``.  O(m·Δ).
+    """
+    rng = Graph()
+    for node in udg.nodes():
+        rng.add_node(node)
+    for u, v in udg.edges():
+        if not _has_rng_witness(udg, u, v):
+            rng.add_edge(u, v)
+    return rng
+
+
+def gabriel_graph(udg: UnitDiskGraph) -> Graph:
+    """The Gabriel graph restricted to the UDG's edges.
+
+    Edge (u, v) survives iff no common neighbor lies strictly inside
+    the disk whose diameter is uv, i.e. ``|uw|² + |vw|² < |uv|²``.
+    """
+    gg = Graph()
+    for node in udg.nodes():
+        gg.add_node(node)
+    for u, v in udg.edges():
+        if not _has_gabriel_witness(udg, u, v):
+            gg.add_edge(u, v)
+    return gg
+
+
+def _has_rng_witness(udg: UnitDiskGraph, u: Hashable, v: Hashable) -> bool:
+    duv = udg.euclidean_distance(u, v)
+    for w in udg.adjacency(u) & udg.adjacency(v):
+        if max(udg.euclidean_distance(u, w), udg.euclidean_distance(v, w)) < duv:
+            return True
+    return False
+
+
+def _has_gabriel_witness(udg: UnitDiskGraph, u: Hashable, v: Hashable) -> bool:
+    duv_sq = udg.euclidean_distance(u, v) ** 2
+    for w in udg.adjacency(u) & udg.adjacency(v):
+        duw_sq = udg.euclidean_distance(u, w) ** 2
+        dvw_sq = udg.euclidean_distance(v, w) ** 2
+        if duw_sq + dvw_sq < duv_sq - 1e-12:
+            return True
+    return False

@@ -1,0 +1,288 @@
+"""Command-line interface for the library.
+
+Usage (installed as ``repro``, or ``python -m repro.cli``):
+
+    repro topology   --nodes 150 --side 8         # deployment stats
+    repro wcds       --algorithm 2 --nodes 150    # build a backbone
+    repro route      --src 3 --dst 77             # clusterhead routing
+    repro broadcast  --nodes 300                  # flooding vs backbone
+    repro compare    --nodes 150                  # all algorithms side by side
+    repro experiment --list                       # the paper's experiments
+    repro experiment F3 T11                       # run + verify specific claims
+    repro experiment --all --markdown results.md  # full measured report
+    repro figures    --outdir figures             # regenerate the figures
+
+Every subcommand builds the same reproducible topology from
+``--nodes/--side/--seed`` so results can be cross-referenced between
+invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import print_table
+from repro.graphs import connected_random_udg, graph_stats
+from repro.routing import ClusterheadRouter, backbone_broadcast, blind_flood
+from repro.wcds import (
+    algorithm1_distributed,
+    algorithm2_distributed,
+)
+
+
+def _add_topology_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nodes", type=int, default=150, help="number of radios")
+    parser.add_argument("--side", type=float, default=8.0, help="square side length")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument(
+        "--load", metavar="FILE", help="load the topology from a JSON file "
+        "(overrides --nodes/--side/--seed)"
+    )
+
+
+def _build(args) -> "UnitDiskGraph":
+    if getattr(args, "load", None):
+        from repro.graphs import load_topology
+
+        return load_topology(args.load)
+    return connected_random_udg(args.nodes, args.side, seed=args.seed)
+
+
+def _run_algorithm(graph, which: str):
+    if which == "1":
+        return algorithm1_distributed(graph)
+    if which == "2":
+        return algorithm2_distributed(graph)
+    raise SystemExit(f"unknown algorithm {which!r} (expected 1 or 2)")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_topology(args) -> int:
+    graph = _build(args)
+    stats = graph_stats(graph)
+    print_table([stats.as_row()], title="Topology")
+    if args.positions:
+        for node in sorted(graph.nodes()):
+            pos = graph.positions[node]
+            print(f"{node}\t{pos.x:.4f}\t{pos.y:.4f}")
+    if args.save:
+        from repro.graphs import save_topology
+
+        save_topology(graph, args.save)
+        print(f"saved topology to {args.save}")
+    return 0
+
+
+def cmd_wcds(args) -> int:
+    graph = _build(args)
+    result = _run_algorithm(graph, args.algorithm)
+    result.validate(graph)
+    messages = (
+        result.meta["total_messages"]
+        if "total_messages" in result.meta
+        else result.meta["stats"].messages_sent
+    )
+    print_table(
+        [
+            {
+                "algorithm": f"Algorithm {args.algorithm}",
+                "n": graph.num_nodes,
+                "backbone": result.size,
+                "clusterheads": len(result.mis_dominators),
+                "connectors": len(result.additional_dominators),
+                "messages": messages,
+                "spanner_edges": result.spanner(graph).num_edges,
+                "udg_edges": graph.num_edges,
+            }
+        ],
+        title="WCDS construction",
+    )
+    if args.list:
+        print("dominators:", " ".join(map(str, sorted(result.dominators))))
+    return 0
+
+
+def cmd_route(args) -> int:
+    graph = _build(args)
+    if args.src not in graph or args.dst not in graph:
+        print(f"error: src/dst must be in 0..{graph.num_nodes - 1}", file=sys.stderr)
+        return 2
+    result = algorithm2_distributed(graph)
+    router = ClusterheadRouter(graph, result)
+    path = router.route(args.src, args.dst)
+    router.validate_path(path)
+    from repro.graphs import hop_distance
+
+    shortest = hop_distance(graph, args.src, args.dst)
+    annotated = " -> ".join(
+        f"{node}{'*' if node in result.dominators else ''}" for node in path
+    )
+    print(f"\nroute ({len(path) - 1} hops, shortest {shortest}; * = dominator):")
+    print(f"  {annotated}\n")
+    return 0
+
+
+def cmd_broadcast(args) -> int:
+    graph = _build(args)
+    result = algorithm2_distributed(graph)
+    flood = blind_flood(graph, args.source)
+    backbone = backbone_broadcast(graph, result, args.source)
+    print_table(
+        [
+            {"scheme": "blind flooding", "transmissions": flood.transmissions,
+             "coverage": flood.full_coverage},
+            {"scheme": "WCDS backbone", "transmissions": backbone.transmissions,
+             "coverage": backbone.full_coverage},
+        ],
+        title=f"Broadcast from node {args.source} (n={graph.num_nodes})",
+    )
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.baselines import greedy_cds, greedy_wcds, mis_tree_cds, wu_li_cds
+
+    graph = _build(args)
+    alg1 = algorithm1_distributed(graph)
+    alg2 = algorithm2_distributed(graph)
+    rows = [
+        {"algorithm": "Algorithm I (WCDS)", "size": alg1.size, "localized": "no (election)"},
+        {"algorithm": "Algorithm II (WCDS)", "size": alg2.size, "localized": "yes"},
+        {"algorithm": "greedy WCDS [8]", "size": greedy_wcds(graph).size, "localized": "no (global)"},
+        {"algorithm": "MIS-tree CDS", "size": len(mis_tree_cds(graph)), "localized": "no"},
+        {"algorithm": "greedy CDS", "size": len(greedy_cds(graph)), "localized": "no (global)"},
+        {"algorithm": "Wu-Li CDS [16]", "size": len(wu_li_cds(graph)), "localized": "yes"},
+    ]
+    print_table(rows, title=f"Backbone sizes (n={graph.num_nodes}, seed={args.seed})")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    import repro.experiments as experiments
+
+    if args.all:
+        from repro.analysis.report import generate_report
+
+        report = generate_report()
+        if args.markdown:
+            with open(args.markdown, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"wrote report to {args.markdown}")
+        else:
+            print(report)
+        return 0
+    if args.list or not args.ids:
+        rows = [
+            {
+                "id": exp.experiment_id,
+                "title": exp.title,
+            }
+            for exp in experiments.all_experiments()
+        ]
+        print_table(rows, title="Registered experiments (see DESIGN.md)")
+        return 0
+    for experiment_id in args.ids:
+        try:
+            exp = experiments.get(experiment_id)
+        except KeyError:
+            known = ", ".join(sorted(experiments.REGISTRY))
+            print(
+                f"error: unknown experiment {experiment_id!r} (known: {known})",
+                file=sys.stderr,
+            )
+            return 2
+        rows = exp.run()
+        print_table(rows, title=f"{exp.experiment_id}: {exp.title}")
+        exp.check(rows)
+        print(f"claim verified: {exp.claim}\n")
+    return 0
+
+
+def cmd_figures(args) -> int:
+    import os
+
+    from repro import paper_figure2_udg
+    from repro.viz import draw_udg, draw_wcds
+    from repro.wcds import WCDSResult
+
+    os.makedirs(args.outdir, exist_ok=True)
+    graph = _build(args)
+    draw_udg(graph).save(os.path.join(args.outdir, "udg.svg"))
+    result = algorithm2_distributed(graph)
+    draw_wcds(graph, result).save(os.path.join(args.outdir, "wcds_spanner.svg"))
+    fig2 = paper_figure2_udg()
+    fig2_result = WCDSResult(
+        dominators=frozenset({1, 2}), mis_dominators=frozenset({1, 2})
+    )
+    draw_wcds(fig2, fig2_result, labels=True).save(
+        os.path.join(args.outdir, "figure2.svg")
+    )
+    print(f"wrote 3 SVG files to {args.outdir}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WCDS and sparse spanners in wireless ad hoc networks "
+        "(Alzoubi, Wan, Frieder - ICDCS 2003).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("topology", help="generate a deployment and print stats")
+    _add_topology_args(p)
+    p.add_argument("--positions", action="store_true", help="dump node positions")
+    p.add_argument("--save", metavar="FILE", help="save the topology as JSON")
+    p.set_defaults(func=cmd_topology)
+
+    p = sub.add_parser("wcds", help="construct a WCDS backbone")
+    _add_topology_args(p)
+    p.add_argument("--algorithm", choices=["1", "2"], default="2")
+    p.add_argument("--list", action="store_true", help="print the dominator ids")
+    p.set_defaults(func=cmd_wcds)
+
+    p = sub.add_parser("route", help="route a packet over the backbone")
+    _add_topology_args(p)
+    p.add_argument("--src", type=int, required=True)
+    p.add_argument("--dst", type=int, required=True)
+    p.set_defaults(func=cmd_route)
+
+    p = sub.add_parser("broadcast", help="flooding vs backbone broadcast")
+    _add_topology_args(p)
+    p.add_argument("--source", type=int, default=0)
+    p.set_defaults(func=cmd_broadcast)
+
+    p = sub.add_parser("compare", help="all algorithms side by side")
+    _add_topology_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("experiment", help="run registered paper experiments")
+    p.add_argument("ids", nargs="*", help="experiment ids (e.g. F3 T11)")
+    p.add_argument("--list", action="store_true", help="list experiments")
+    p.add_argument("--all", action="store_true", help="run every experiment")
+    p.add_argument("--markdown", help="with --all: write a markdown report here")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("figures", help="render SVG figures")
+    _add_topology_args(p)
+    p.add_argument("--outdir", default="figures")
+    p.set_defaults(func=cmd_figures)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Leader election and spanning-tree construction.
+
+Algorithm I's first phase elects a leader and builds a spanning tree
+rooted at it (the paper adopts Cidon & Mokryn's broadcast-environment
+election).  This package implements a min-id flooding election whose
+message count is O(n log n) in expectation on randomly-ordered ids, and
+which yields the rooted tree (parent and children pointers) the level
+calculation phase needs.
+"""
+
+from repro.election.protocol import (
+    ElectionNode,
+    ElectionResult,
+    elect_leader,
+)
+from repro.election.convergecast import (
+    ConvergecastNode,
+    converge_cast,
+    count_nodes,
+    tree_maximum,
+)
+
+__all__ = [
+    "ElectionNode",
+    "ElectionResult",
+    "elect_leader",
+    "ConvergecastNode",
+    "converge_cast",
+    "count_nodes",
+    "tree_maximum",
+]

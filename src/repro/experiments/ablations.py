@@ -1,0 +1,128 @@
+"""Experiments A1/S1 — ablations beyond the paper's claims.
+
+A1: what Algorithm II's additional-dominators buy (dilation, and even
+plain weak connectivity for the id-ranked MIS).
+S1: position-less WCDS spanners vs position-based RNG/Gabriel graphs.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import gabriel_graph, relative_neighborhood_graph
+from repro.experiments.base import Rows, checker, register
+from repro.graphs import connected_random_udg, is_connected
+from repro.spanner import fit_hop_bound, measure_dilation, verify_lemma6
+from repro.wcds import (
+    algorithm1_centralized,
+    algorithm2_distributed,
+    weakly_induced_subgraph,
+)
+
+
+@register(
+    "A1",
+    "Ablation: what the additional-dominators buy "
+    "(6 random 70-node networks)",
+    "Connectors are load-bearing: stripping them can disconnect the "
+    "spanner; Algorithm I is smaller but has worse dilation.",
+)
+def run_connector_ablation() -> Rows:
+    trials = 6
+    alg1_violations = stripped_disconnected = 0
+    worst = {"alg1": 0.0, "alg2": 0.0}
+    sizes = {"alg1": 0, "alg2": 0}
+    for seed in range(trials):
+        g = connected_random_udg(70, 5.5, seed=seed)
+        alg1 = algorithm1_centralized(g)
+        alg2 = algorithm2_distributed(g)
+        sizes["alg1"] += alg1.size
+        sizes["alg2"] += alg2.size
+        report1 = measure_dilation(g, alg1.spanner(g))
+        report2 = measure_dilation(g, alg2.spanner(g))
+        worst["alg1"] = max(worst["alg1"], report1.max_hop_ratio)
+        worst["alg2"] = max(worst["alg2"], report2.max_hop_ratio)
+        alg1_violations += not report1.hop_bound_holds
+        assert report2.hop_bound_holds
+        stripped = weakly_induced_subgraph(g, alg2.mis_dominators)
+        stripped_disconnected += not is_connected(stripped)
+    return [
+        {
+            "variant": "Algorithm I (MIS only, level rank)",
+            "avg_size": sizes["alg1"] / trials,
+            "worst_hop_ratio": worst["alg1"],
+            "3h+2_violations": alg1_violations,
+            "disconnected": 0,
+        },
+        {
+            "variant": "Algorithm II minus connectors",
+            "avg_size": sizes["alg2"] / trials,
+            "worst_hop_ratio": float("nan"),
+            "3h+2_violations": "-",
+            "disconnected": stripped_disconnected,
+        },
+        {
+            "variant": "Algorithm II (full)",
+            "avg_size": sizes["alg2"] / trials,
+            "worst_hop_ratio": worst["alg2"],
+            "3h+2_violations": 0,
+            "disconnected": 0,
+        },
+    ]
+
+
+@checker("A1")
+def check_connector_ablation(rows: Rows) -> None:
+    alg1, _, alg2 = rows
+    assert alg2["3h+2_violations"] == 0 and alg2["disconnected"] == 0
+    assert alg1["avg_size"] < alg2["avg_size"]
+    assert alg1["worst_hop_ratio"] >= alg2["worst_hop_ratio"] - 1e-9
+
+
+@register(
+    "S1",
+    "Sparse spanner families, n=60 x4 (hop bound h' <= alpha*h + 2, "
+    "alpha fitted; Lemma 6 then certifies the length bound)",
+    "Position-less WCDS spanners trade a few edges for bounded "
+    "hop dilation; RNG/Gabriel are sparser but dilate more.",
+)
+def run_spanner_families() -> Rows:
+    rows = []
+    trials = 4
+    families = {
+        "WCDS spanner (position-less)": None,
+        "Gabriel graph (positions)": gabriel_graph,
+        "RNG (positions)": relative_neighborhood_graph,
+    }
+    for label, builder in families.items():
+        edges_per_node = worst_alpha = 0.0
+        lemma6_ok = True
+        for seed in range(trials):
+            g = connected_random_udg(60, 5.0, seed=seed)
+            if builder is None:
+                spanner = algorithm2_distributed(g).spanner(g)
+            else:
+                spanner = builder(g)
+            edges_per_node += spanner.num_edges / g.num_nodes / trials
+            alpha = fit_hop_bound(g, spanner, beta=2)
+            worst_alpha = max(worst_alpha, alpha)
+            report = verify_lemma6(g, spanner, alpha, beta=2)
+            lemma6_ok &= report.lemma_respected and report.conclusion_holds
+        rows.append(
+            {
+                "spanner": label,
+                "edges_per_node": edges_per_node,
+                "fitted_hop_alpha": worst_alpha,
+                "lemma6_holds": lemma6_ok,
+            }
+        )
+    return rows
+
+
+@checker("S1")
+def check_spanner_families(rows: Rows) -> None:
+    wcds, gabriel, rng = rows
+    for row in rows:
+        assert row["edges_per_node"] < 4.0
+        assert row["lemma6_holds"]
+    assert rng["edges_per_node"] < wcds["edges_per_node"]
+    assert wcds["fitted_hop_alpha"] <= 3.0 + 1e-9
+    assert rng["fitted_hop_alpha"] >= wcds["fitted_hop_alpha"]

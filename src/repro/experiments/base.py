@@ -1,0 +1,86 @@
+"""Experiment registry.
+
+Every experiment from DESIGN.md's index is a first-class object: an id
+(the figure/theorem it reproduces), a title, a ``run`` callable that
+returns result rows, and a ``check`` callable that asserts the paper's
+claim on those rows.  The benchmarks time ``run`` and re-use ``check``;
+the CLI (``repro experiment``) runs them interactively; users can call
+them programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+Rows = Sequence[Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str
+    run: Callable[[], Rows]
+    check: Callable[[Rows], None]
+
+    def execute(self) -> Rows:
+        """Run and verify; returns the rows."""
+        rows = self.run()
+        self.check(rows)
+        return rows
+
+
+#: Global registry, populated by the experiment modules at import time.
+REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, claim: str
+) -> Callable[[Callable[[], Rows]], Callable[[], Rows]]:
+    """Decorator: register ``run`` under ``experiment_id``.
+
+    The decorated module must separately attach a checker via
+    :func:`checker`; registration completes when both are present.
+    """
+
+    def decorate(run: Callable[[], Rows]) -> Callable[[], Rows]:
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            claim=claim,
+            run=run,
+            check=lambda rows: None,
+        )
+        return run
+
+    return decorate
+
+
+def checker(experiment_id: str):
+    """Decorator: attach the claim checker to a registered experiment."""
+
+    def decorate(check: Callable[[Rows], None]) -> Callable[[Rows], None]:
+        existing = REGISTRY[experiment_id]
+        REGISTRY[experiment_id] = Experiment(
+            experiment_id=existing.experiment_id,
+            title=existing.title,
+            claim=existing.claim,
+            run=existing.run,
+            check=check,
+        )
+        return check
+
+    return decorate
+
+
+def get(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (raises ``KeyError`` if unknown)."""
+    return REGISTRY[experiment_id]
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    return [REGISTRY[key] for key in sorted(REGISTRY)]

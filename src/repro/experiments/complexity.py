@@ -1,0 +1,112 @@
+"""Experiments T12a/T12b/T12c — time and message complexity.
+
+Theorem 12: Algorithm II uses O(n) messages and O(n) time; §4.1 puts
+Algorithm I at O(n log n) messages (election-dominated).  T12b compares
+communication *volume* (payload entries) against distributed Wu-Li.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import wu_li_distributed
+from repro.experiments.base import Rows, checker, register
+from repro.graphs import connected_random_udg, line_udg
+from repro.wcds import algorithm1_distributed, algorithm2_distributed
+
+
+@register(
+    "T12a",
+    "Messages vs n (Alg II: O(n) msgs, flat msgs/node; "
+    "Alg I: O(n log n), election-dominated)",
+    "Theorem 12: Algorithm II sends O(1) messages per node.",
+)
+def run_message_sweep() -> Rows:
+    rows = []
+    for n in (50, 100, 200, 400):
+        side = (n / 7.0) ** 0.5 * 1.87
+        g = connected_random_udg(n, side, seed=2)
+        alg1 = algorithm1_distributed(g)
+        alg2 = algorithm2_distributed(g)
+        alg2_stats = alg2.meta["stats"]
+        rows.append(
+            {
+                "n": n,
+                "alg1_msgs": alg1.meta["total_messages"],
+                "alg1_msgs_per_n": alg1.meta["total_messages"] / n,
+                "alg2_msgs": alg2_stats.messages_sent,
+                "alg2_msgs_per_n": alg2_stats.messages_sent / n,
+                "alg2_max_per_node": alg2_stats.max_messages_per_node(),
+                "alg2_time": alg2_stats.finish_time,
+            }
+        )
+    return rows
+
+
+@checker("T12a")
+def check_message_sweep(rows: Rows) -> None:
+    per_node = [row["alg2_msgs_per_n"] for row in rows]
+    assert max(per_node) / min(per_node) < 1.6
+    for row in rows:
+        assert row["alg2_max_per_node"] <= 60
+        assert row["alg1_msgs"] > row["alg2_msgs"]
+
+
+@register(
+    "T12b",
+    "Communication volume per node, n=200 (Alg II payloads are O(1); "
+    "Wu-Li HELLO payloads are O(degree))",
+    "Algorithm II's per-node communication volume is density-independent.",
+)
+def run_volume_sweep() -> Rows:
+    rows = []
+    n = 200
+    for side in (9.0, 6.0, 4.5):
+        g = connected_random_udg(n, side, seed=3)
+        alg2_stats = algorithm2_distributed(g).meta["stats"]
+        _, wu_li_stats = wu_li_distributed(g)
+        rows.append(
+            {
+                "avg_deg": round(2 * g.num_edges / n, 1),
+                "alg2_list_entries_per_n": alg2_stats.payload_entries / n,
+                "wu_li_entries_per_n": wu_li_stats.payload_entries / n,
+                "alg2_msgs": alg2_stats.messages_sent,
+                "wu_li_msgs": wu_li_stats.messages_sent,
+            }
+        )
+    return rows
+
+
+@checker("T12b")
+def check_volume_sweep(rows: Rows) -> None:
+    alg2 = [row["alg2_list_entries_per_n"] for row in rows]
+    wu_li = [row["wu_li_entries_per_n"] for row in rows]
+    assert wu_li[-1] > 2 * wu_li[0]
+    assert alg2[-1] < 2 * alg2[0] + 5
+    assert wu_li[-1] > alg2[-1]
+
+
+@register(
+    "T12c",
+    "Sequential chain worst case (time Theta(n), msgs O(n))",
+    "Theorem 12's time worst case: ascending ids on a chain.",
+)
+def run_chain_worst_case() -> Rows:
+    rows = []
+    for n in (20, 40, 80):
+        g = line_udg(n)
+        stats = algorithm2_distributed(g).meta["stats"]
+        rows.append(
+            {
+                "chain_n": n,
+                "time": stats.finish_time,
+                "time_per_n": stats.finish_time / n,
+                "msgs_per_n": stats.messages_sent / n,
+            }
+        )
+    return rows
+
+
+@checker("T12c")
+def check_chain_worst_case(rows: Rows) -> None:
+    times = [row["time_per_n"] for row in rows]
+    assert max(times) / min(times) < 1.5
+    assert max(row["msgs_per_n"] for row in rows) < 8.0

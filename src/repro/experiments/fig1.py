@@ -1,0 +1,63 @@
+"""Experiments F1a/F1b — Figure 1: the unit-disk graph model.
+
+Section 1: a dense UDG has Θ(n²) edges (the scalability motivation for
+sparse spanners); at fixed density the edge count is linear.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import Rows, checker, register
+from repro.graphs import uniform_random_udg
+
+
+@register(
+    "F1a",
+    "UDG edges, fixed 6x6 area (paper: Theta(n^2) when dense)",
+    "Densifying a fixed area grows edges quadratically.",
+)
+def run_dense_area() -> Rows:
+    rows = []
+    side = 6.0
+    for n in (50, 100, 200, 400, 800):
+        g = uniform_random_udg(n, side, seed=1)
+        rows.append(
+            {
+                "n": n,
+                "edges_fixed_area": g.num_edges,
+                "m_over_n2": g.num_edges / (n * n),
+            }
+        )
+    return rows
+
+
+@checker("F1a")
+def check_dense_area(rows: Rows) -> None:
+    ratios = [row["m_over_n2"] for row in rows]
+    assert max(ratios) / min(ratios) < 3.0
+    assert rows[-1]["edges_fixed_area"] > 50 * rows[0]["edges_fixed_area"]
+
+
+@register(
+    "F1b",
+    "UDG edges, fixed density (linear regime)",
+    "At fixed density the UDG edge count is Theta(n).",
+)
+def run_fixed_density() -> Rows:
+    rows = []
+    for n in (50, 100, 200, 400, 800):
+        side = (n / 8.0) ** 0.5 * 1.77  # expected degree ~8
+        g = uniform_random_udg(n, side, seed=1)
+        rows.append(
+            {
+                "n": n,
+                "edges_fixed_density": g.num_edges,
+                "m_over_n": g.num_edges / n,
+            }
+        )
+    return rows
+
+
+@checker("F1b")
+def check_fixed_density(rows: Rows) -> None:
+    ratios = [row["m_over_n"] for row in rows]
+    assert max(ratios) / min(ratios) < 2.0

@@ -1,0 +1,224 @@
+"""Experiments T5/L7/T8/T10/T11 — the WCDS and spanner theorems.
+
+T5: the level-ranked MIS is a WCDS (Algorithm I's correctness).
+L7: Algorithm I's 5·opt approximation ratio, measured against exact.
+T8: Algorithm I's spanner is sparse (≤ 5·#gray edges).
+T10: Algorithm II's size (≤ 48·|S|) and edge (≤ 9·gray + 47·|S|) bounds.
+T11: Algorithm II's spanner dilation (hop ≤ 3h+2, length ≤ 6l+5).
+"""
+
+from __future__ import annotations
+
+from repro.baselines import exact_minimum_wcds
+from repro.experiments.base import Rows, checker, register
+from repro.graphs import (
+    clustered_udg,
+    connected_random_udg,
+    grid_udg,
+    is_connected,
+    line_udg,
+)
+from repro.mis import is_maximal_independent_set
+from repro.sim import UniformLatency
+from repro.spanner import classify_black_edges, measure_dilation, sampled_dilation
+from repro.wcds import (
+    algorithm1_centralized,
+    algorithm1_distributed,
+    algorithm2_distributed,
+    bounds,
+    is_weakly_connected_dominating_set,
+)
+
+
+def _theorem5_instances():
+    yield "uniform n=80", connected_random_udg(80, 6.0, seed=1)
+    yield "uniform n=150", connected_random_udg(150, 8.0, seed=2)
+    yield "grid 8x8", grid_udg(8, 8)
+    yield "chain n=40", line_udg(40)
+    clustered = clustered_udg(5, 12, side=6.0, seed=3)
+    if is_connected(clustered):
+        yield "clustered 5x12", clustered
+
+
+@register(
+    "T5",
+    "Algorithm I output is an MIS that is a WCDS",
+    "Theorem 5: level-ranked MIS is weakly-connected dominating.",
+)
+def run_theorem5() -> Rows:
+    rows = []
+    for label, g in _theorem5_instances():
+        central = algorithm1_centralized(g)
+        dist_sync = algorithm1_distributed(g)
+        dist_async = algorithm1_distributed(g, latency=UniformLatency(seed=4))
+        rows.append(
+            {
+                "workload": label,
+                "n": g.num_nodes,
+                "wcds_size": central.size,
+                "is_mis": is_maximal_independent_set(g, set(central.dominators)),
+                "central_is_wcds": is_weakly_connected_dominating_set(
+                    g, central.dominators
+                ),
+                "sync_matches_central": dist_sync.dominators == central.dominators,
+                "async_is_wcds": is_weakly_connected_dominating_set(
+                    g, dist_async.dominators
+                ),
+            }
+        )
+    return rows
+
+
+@checker("T5")
+def check_theorem5(rows: Rows) -> None:
+    for row in rows:
+        assert row["is_mis"]
+        assert row["central_is_wcds"]
+        assert row["sync_matches_central"]
+        assert row["async_is_wcds"]
+
+
+@register(
+    "L7",
+    "Algorithm I size vs exact MWCDS (paper bound: 5x)",
+    "Lemma 7: the level-ranked MIS is within 5x of the optimum.",
+)
+def run_lemma7() -> Rows:
+    rows = []
+    worst = 0.0
+    for seed in range(12):
+        g = connected_random_udg(14, 2.9, seed=seed)
+        alg1 = algorithm1_centralized(g).size
+        opt = len(exact_minimum_wcds(g))
+        ratio = alg1 / opt
+        worst = max(worst, ratio)
+        rows.append({"seed": seed, "n": 14, "alg1": alg1, "opt": opt, "ratio": ratio})
+    rows.append({"seed": "worst", "n": "", "alg1": "", "opt": "", "ratio": worst})
+    return rows
+
+
+@checker("L7")
+def check_lemma7(rows: Rows) -> None:
+    for row in rows[:-1]:
+        assert row["alg1"] <= bounds.algorithm1_size_bound(row["opt"])
+    assert rows[-1]["ratio"] <= bounds.ALGORITHM1_RATIO
+
+
+@register(
+    "T8",
+    "Algorithm I spanner edges vs UDG edges, n=250 "
+    "(paper: spanner <= 5*#gray, i.e. linear)",
+    "Theorem 8: the black-edge subgraph is a sparse spanner.",
+)
+def run_theorem8() -> Rows:
+    rows = []
+    n = 250
+    for side in (10.0, 8.0, 6.0, 5.0, 4.0):
+        g = connected_random_udg(n, side, seed=3)
+        result = algorithm1_centralized(g)
+        counts = classify_black_edges(g, result)
+        num_gray = len(result.gray_nodes(g))
+        rows.append(
+            {
+                "avg_deg": round(2 * g.num_edges / n, 1),
+                "udg_edges": g.num_edges,
+                "spanner_edges": counts.total,
+                "edges_per_node": counts.total / n,
+                "bound_5gray": bounds.algorithm1_edge_bound(num_gray),
+            }
+        )
+    return rows
+
+
+@checker("T8")
+def check_theorem8(rows: Rows) -> None:
+    for row in rows:
+        assert row["spanner_edges"] <= row["bound_5gray"]
+        assert row["spanner_edges"] <= row["udg_edges"]
+    first, last = rows[0], rows[-1]
+    assert last["udg_edges"] > 3 * first["udg_edges"]
+    assert last["edges_per_node"] < 3 * first["edges_per_node"] + 1
+
+
+@register(
+    "T10",
+    "Algorithm II WCDS size (<=48|S|) and spanner edges "
+    "(<=9 gray + 47|S|), n=250",
+    "Theorem 10: constant-factor WCDS, linear-edge spanner.",
+)
+def run_theorem10() -> Rows:
+    rows = []
+    n = 250
+    for side in (10.0, 8.0, 6.0, 5.0):
+        g = connected_random_udg(n, side, seed=5)
+        result = algorithm2_distributed(g)
+        counts = classify_black_edges(g, result)
+        mis_size = len(result.mis_dominators)
+        num_gray = len(result.gray_nodes(g))
+        rows.append(
+            {
+                "avg_deg": round(2 * g.num_edges / n, 1),
+                "mis_S": mis_size,
+                "connectors_C": len(result.additional_dominators),
+                "U": result.size,
+                "bound_48S": bounds.algorithm2_size_bound_from_mis(mis_size),
+                "spanner_edges": counts.total,
+                "edge_bound": bounds.algorithm2_edge_bound(num_gray, mis_size),
+                "udg_edges": g.num_edges,
+            }
+        )
+    return rows
+
+
+@checker("T10")
+def check_theorem10(rows: Rows) -> None:
+    for row in rows:
+        assert row["U"] <= row["bound_48S"]
+        assert row["spanner_edges"] <= row["edge_bound"]
+        assert row["spanner_edges"] <= row["udg_edges"]
+        assert row["connectors_C"] <= 5 * row["mis_S"]
+
+
+@register(
+    "T11",
+    "Spanner dilation (hop <= 3h+2, length <= 6l+5)",
+    "Theorem 11: constant topological and geometric dilation.",
+)
+def run_theorem11() -> Rows:
+    rows = []
+    for n, side, mode in (
+        (60, 5.0, "exact"),
+        (100, 6.5, "exact"),
+        (250, 10.0, "sampled"),
+    ):
+        worst_hop = worst_geo = 0.0
+        hop_ok = geo_ok = True
+        for seed in range(3):
+            g = connected_random_udg(n, side, seed=seed)
+            result = algorithm2_distributed(g)
+            spanner = result.spanner(g)
+            if mode == "exact":
+                report = measure_dilation(g, spanner)
+            else:
+                report = sampled_dilation(g, spanner, num_sources=25, seed=seed)
+            worst_hop = max(worst_hop, report.max_hop_ratio)
+            worst_geo = max(worst_geo, report.max_geo_ratio)
+            hop_ok &= report.hop_bound_holds
+            geo_ok &= report.geo_bound_holds
+        rows.append(
+            {
+                "workload": f"n={n} ({mode})",
+                "max_hop_ratio": worst_hop,
+                "hop_bound_3h+2": hop_ok,
+                "max_geo_ratio": worst_geo,
+                "geo_bound_6l+5": geo_ok,
+            }
+        )
+    return rows
+
+
+@checker("T11")
+def check_theorem11(rows: Rows) -> None:
+    for row in rows:
+        assert row["hop_bound_3h+2"]
+        assert row["geo_bound_6l+5"]

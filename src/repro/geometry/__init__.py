@@ -1,0 +1,37 @@
+"""Geometric primitives for unit-disk-graph models of wireless ad hoc networks.
+
+The paper models every radio node as a point in the plane with a common
+transmission radius of one unit.  This subpackage provides the point and
+distance primitives that the graph layer builds on, plus the disk-packing
+bounds used by the paper's area arguments (Lemmas 1 and 2).
+"""
+
+from repro.geometry.point import (
+    Point,
+    distance,
+    distance_squared,
+    midpoint,
+    path_length,
+)
+from repro.geometry.packing import (
+    annulus_packing_bound,
+    disk_packing_bound,
+    max_independent_points_in_annulus,
+    mis_neighbors_bound,
+    mis_two_hop_bound,
+    mis_three_hop_bound,
+)
+
+__all__ = [
+    "Point",
+    "distance",
+    "distance_squared",
+    "midpoint",
+    "path_length",
+    "annulus_packing_bound",
+    "disk_packing_bound",
+    "max_independent_points_in_annulus",
+    "mis_neighbors_bound",
+    "mis_two_hop_bound",
+    "mis_three_hop_bound",
+]

@@ -1,0 +1,90 @@
+"""Points in the plane and Euclidean distance helpers.
+
+All node positions in the library are :class:`Point` instances.  ``Point``
+is a frozen dataclass so positions hash, compare, and unpack like tuples,
+which keeps them usable as dictionary keys and in sets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """A point in the two-dimensional plane.
+
+    Supports tuple-style unpacking (``x, y = p``), arithmetic with other
+    points (vector addition/subtraction and scalar multiplication), and
+    Euclidean geometry helpers.
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance from this point to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def norm(self) -> float:
+        """Euclidean norm of this point treated as a vector."""
+        return math.hypot(self.x, self.y)
+
+    def as_tuple(self) -> tuple:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Euclidean distance between two points or ``(x, y)`` pairs."""
+    ax, ay = a
+    bx, by = b
+    return math.hypot(ax - bx, ay - by)
+
+
+def distance_squared(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance; avoids the sqrt for comparisons."""
+    ax, ay = a
+    bx, by = b
+    dx = ax - bx
+    dy = ay - by
+    return dx * dx + dy * dy
+
+
+def midpoint(a: Sequence[float], b: Sequence[float]) -> Point:
+    """The midpoint of the segment between ``a`` and ``b``."""
+    ax, ay = a
+    bx, by = b
+    return Point((ax + bx) / 2.0, (ay + by) / 2.0)
+
+
+def path_length(points: Iterable[Sequence[float]]) -> float:
+    """Total Euclidean length of a polyline through ``points``.
+
+    This is the quantity the paper calls the *total length* of a path and
+    uses to define geometric dilation (Section 3).
+    """
+    total = 0.0
+    previous = None
+    for point in points:
+        if previous is not None:
+            total += distance(previous, point)
+        previous = point
+    return total

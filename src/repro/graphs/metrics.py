@@ -1,0 +1,60 @@
+"""Summary statistics for graphs and deployments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import connected_components, is_connected
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A snapshot of the structural statistics of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    min_degree: int
+    max_degree: int
+    average_degree: float
+    num_components: int
+    connected: bool
+
+    def as_row(self) -> Dict[str, float]:
+        """The stats as a flat dict, for table printing."""
+        return {
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "min_deg": self.min_degree,
+            "max_deg": self.max_degree,
+            "avg_deg": self.average_degree,
+            "components": self.num_components,
+        }
+
+
+def graph_stats(graph: Graph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees: List[int] = [graph.degree(node) for node in graph.nodes()]
+    num_nodes = graph.num_nodes
+    num_edges = graph.num_edges
+    return GraphStats(
+        num_nodes=num_nodes,
+        num_edges=num_edges,
+        min_degree=min(degrees) if degrees else 0,
+        max_degree=max(degrees) if degrees else 0,
+        average_degree=(2.0 * num_edges / num_nodes) if num_nodes else 0.0,
+        num_components=len(connected_components(graph)),
+        connected=is_connected(graph),
+    )
+
+
+def edges_per_node(graph: Graph) -> float:
+    """m / n — the sparseness measure behind "linear edges".
+
+    A spanner family is sparse when this ratio stays bounded by a
+    constant as n grows; the dense UDG itself has m/n = Θ(n).
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    return graph.num_edges / graph.num_nodes

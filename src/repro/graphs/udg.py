@@ -1,0 +1,212 @@
+"""Unit-disk graphs: the paper's model of a wireless ad hoc network.
+
+All nodes share a maximum transmission range of one unit, so two nodes
+can communicate directly iff their Euclidean distance is at most 1
+(Clark, Colbourn, Johnson 1990).  :class:`UnitDiskGraph` couples the
+combinatorial graph with node positions — positions are needed to
+*evaluate* geometric dilation even though the paper's algorithms never
+look at them ("position-less spanners").
+
+Construction uses a spatial hash grid with unit-sized cells so building
+the graph is expected O(n + m) rather than the naive O(n²); the brute
+force builder is kept for cross-validation and the construction ablation
+benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.geometry.point import Point, distance_squared, path_length
+from repro.graphs.graph import Graph, Node
+
+GridCell = Tuple[int, int]
+
+#: Offsets of a cell and its eight neighbors; with cell size == radius,
+#: any two nodes within the radius fall in adjacent (or equal) cells.
+_NEIGHBOR_OFFSETS: Tuple[GridCell, ...] = tuple(
+    (dx, dy) for dx in (-1, 0, 1) for dy in (-1, 0, 1)
+)
+
+
+class UnitDiskGraph(Graph):
+    """A unit-disk graph: nodes with positions, edge iff distance <= radius.
+
+    The transmission ``radius`` defaults to the paper's one unit.  The
+    class *is a* :class:`Graph`, so every graph algorithm in the library
+    applies directly; positions are carried alongside for geometric
+    measurements.
+    """
+
+    def __init__(
+        self,
+        positions: Mapping[Node, Point],
+        radius: float = 1.0,
+        *,
+        method: str = "grid",
+    ) -> None:
+        if radius <= 0:
+            raise ValueError("transmission radius must be positive")
+        super().__init__()
+        self.radius = radius
+        self.positions: Dict[Node, Point] = {
+            node: _as_point(pos) for node, pos in positions.items()
+        }
+        for node in self.positions:
+            self.add_node(node)
+        if method == "grid":
+            self._build_edges_grid()
+        elif method == "brute":
+            self._build_edges_brute()
+        else:
+            raise ValueError(f"unknown construction method {method!r}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_edges_grid(self) -> None:
+        cell_size = self.radius
+        grid: Dict[GridCell, List[Node]] = {}
+        for node, pos in self.positions.items():
+            cell = (int(math.floor(pos.x / cell_size)), int(math.floor(pos.y / cell_size)))
+            grid.setdefault(cell, []).append(node)
+        limit = self.radius * self.radius
+        for (cx, cy), members in grid.items():
+            # Within-cell pairs.
+            for i, u in enumerate(members):
+                pu = self.positions[u]
+                for v in members[i + 1 :]:
+                    if distance_squared(pu, self.positions[v]) <= limit:
+                        self.add_edge(u, v)
+            # Cross-cell pairs: only look at half the neighbor cells so
+            # each unordered cell pair is examined once.
+            for dx, dy in ((1, -1), (1, 0), (1, 1), (0, 1)):
+                others = grid.get((cx + dx, cy + dy))
+                if not others:
+                    continue
+                for u in members:
+                    pu = self.positions[u]
+                    for v in others:
+                        if distance_squared(pu, self.positions[v]) <= limit:
+                            self.add_edge(u, v)
+
+    def _build_edges_brute(self) -> None:
+        limit = self.radius * self.radius
+        for u, v in itertools.combinations(self.positions, 2):
+            if distance_squared(self.positions[u], self.positions[v]) <= limit:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Geometry-aware queries
+    # ------------------------------------------------------------------
+    def position(self, node: Node) -> Point:
+        """Position of ``node``."""
+        return self.positions[node]
+
+    def euclidean_distance(self, u: Node, v: Node) -> float:
+        """Euclidean distance between two nodes' positions."""
+        return self.positions[u].distance_to(self.positions[v])
+
+    def path_euclidean_length(self, path: Iterable[Node]) -> float:
+        """Total Euclidean length of a node path (sum of hop lengths)."""
+        return path_length(self.positions[node] for node in path)
+
+    def nodes_within(self, center: Point, radius: float) -> List[Node]:
+        """Nodes whose position lies within ``radius`` of ``center``."""
+        limit = radius * radius
+        return [
+            node
+            for node, pos in self.positions.items()
+            if distance_squared(center, pos) <= limit
+        ]
+
+    # ------------------------------------------------------------------
+    # Mutation under mobility
+    # ------------------------------------------------------------------
+    def move_node(self, node: Node, new_position: Point) -> Tuple[set, set]:
+        """Move ``node`` and update its incident edges.
+
+        Returns ``(gained, lost)`` neighbor sets — the link-layer events
+        the maintenance protocol reacts to.  O(n) per move (a scan), which
+        is fine for the mobility experiments' scale.
+        """
+        if node not in self.positions:
+            raise KeyError(f"unknown node {node!r}")
+        self.positions[node] = _as_point(new_position)
+        limit = self.radius * self.radius
+        new_neighbors = {
+            other
+            for other, pos in self.positions.items()
+            if other != node
+            and distance_squared(self.positions[node], pos) <= limit
+        }
+        old_neighbors = set(self.adjacency(node))
+        for lost in old_neighbors - new_neighbors:
+            self.remove_edge(node, lost)
+        for gained in new_neighbors - old_neighbors:
+            self.add_edge(node, gained)
+        return new_neighbors - old_neighbors, old_neighbors - new_neighbors
+
+    def add_node_at(self, node: Node, position: Point) -> set:
+        """Add a node (a radio turned on) and wire its unit-disk edges.
+
+        Returns the set of neighbors it connected to.  O(n) scan, like
+        :meth:`move_node`.
+        """
+        if node in self.positions:
+            raise ValueError(f"node {node!r} already exists")
+        position = _as_point(position)
+        self.positions[node] = position
+        self.add_node(node)
+        limit = self.radius * self.radius
+        neighbors = {
+            other
+            for other, pos in self.positions.items()
+            if other != node and distance_squared(position, pos) <= limit
+        }
+        for nbr in neighbors:
+            self.add_edge(node, nbr)
+        return neighbors
+
+    def remove_node(self, node: Node) -> None:
+        """Remove a node (a radio turned off) and its position."""
+        super().remove_node(node)
+        del self.positions[node]
+
+    def copy(self) -> "UnitDiskGraph":
+        clone = UnitDiskGraph({}, radius=self.radius)
+        clone.positions = dict(self.positions)
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"UnitDiskGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"radius={self.radius})"
+        )
+
+
+def build_udg(
+    positions: Mapping[Node, Point] | Iterable[Tuple[float, float]],
+    radius: float = 1.0,
+    *,
+    method: str = "grid",
+) -> UnitDiskGraph:
+    """Build a :class:`UnitDiskGraph` from positions.
+
+    ``positions`` may be a mapping from node id to position, or a bare
+    iterable of ``(x, y)`` pairs, in which case nodes are numbered
+    ``0..n-1`` in iteration order.
+    """
+    if not isinstance(positions, Mapping):
+        positions = {i: _as_point(p) for i, p in enumerate(positions)}
+    return UnitDiskGraph(positions, radius=radius, method=method)
+
+
+def _as_point(pos) -> Point:
+    if isinstance(pos, Point):
+        return pos
+    x, y = pos
+    return Point(float(x), float(y))

@@ -1,0 +1,45 @@
+"""Euclidean-weighted shortest paths on unit-disk graphs.
+
+Geometric dilation (Section 3) compares path *lengths*: the denominator
+is the length of the minimum-distance path in G, which is a Dijkstra
+shortest path with Euclidean edge weights.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Hashable, Optional
+
+from repro.graphs.udg import UnitDiskGraph
+
+
+def euclidean_shortest_path_lengths(
+    udg: UnitDiskGraph, source: Hashable
+) -> Dict[Hashable, float]:
+    """Length of the minimum-distance path in the UDG from ``source``
+    to every reachable node (Dijkstra)."""
+    dist: Dict[Hashable, float] = {}
+    counter = itertools.count()
+    heap = [(0.0, next(counter), source)]
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        pos = udg.positions[node]
+        for nbr in udg.adjacency(node):
+            if nbr not in dist:
+                step = pos.distance_to(udg.positions[nbr])
+                heapq.heappush(heap, (d + step, next(counter), nbr))
+    return dist
+
+
+def euclidean_shortest_path_length(
+    udg: UnitDiskGraph, source: Hashable, target: Hashable
+) -> Optional[float]:
+    """Min-distance path length between two nodes; ``None`` if
+    disconnected."""
+    if source == target:
+        return 0.0
+    return euclidean_shortest_path_lengths(udg, source).get(target)

@@ -1,0 +1,127 @@
+"""Distributed MIS marking protocol.
+
+This is the color-marking core shared by both of the paper's WCDS
+algorithms: all nodes start white; a node marks itself black when it
+learns no lower-ranked neighbor will (i.e., it has received a GRAY
+declaration from every lower-ranked neighbor, or has none); a white node
+hearing a BLACK declaration marks itself gray.  Each node transmits
+exactly one declaration, so the phase costs exactly n messages.
+
+The rank of every node and of its neighbors must be known locally
+before the phase starts: for Algorithm II the rank is the node id
+(known by assumption), for Algorithm I it is ``(level, id)`` learned in
+the level calculation phase.  The protocol is parameterized over a rank
+table to cover both.
+
+Correctness under asynchrony: a node's decision depends only on its
+lower-ranked neighbors' declarations, so by induction on rank order the
+outcome is exactly the centralized greedy MIS for that ranking, whatever
+the message delays — which the property tests check against
+:func:`repro.mis.centralized.greedy_mis` under randomized latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.mis.centralized import greedy_mis
+from repro.mis.ranking import Rank, id_ranking, validate_ranking
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.messages import Message
+from repro.sim.node import NodeContext, ProtocolNode
+from repro.sim.stats import SimStats
+
+BLACK = "BLACK"
+GRAY = "GRAY"
+
+WHITE_STATE = "white"
+GRAY_STATE = "gray"
+BLACK_STATE = "black"
+
+
+class MisNode(ProtocolNode):
+    """One node of the distributed marking protocol.
+
+    Subclasses (Algorithm II's full node) override :meth:`declare_black`
+    / :meth:`declare_gray` to piggyback extra state, and may use
+    different message kind names via the class attributes.
+    """
+
+    black_kind = BLACK
+    gray_kind = GRAY
+
+    def __init__(self, ctx: NodeContext, ranks: Mapping[Hashable, Rank]) -> None:
+        super().__init__(ctx)
+        self._ranks = ranks
+        self.color = WHITE_STATE
+        self.rank = ranks[self.node_id]
+        self._pending_lower: Set[Hashable] = {
+            nbr for nbr in ctx.neighbors if ranks[nbr] < self.rank
+        }
+
+    # ------------------------------------------------------------------
+    # Protocol rules
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        if not self._pending_lower:
+            self.declare_black()
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == self.black_kind:
+            self._on_black(msg)
+        elif msg.kind == self.gray_kind:
+            self._on_gray(msg)
+
+    def _on_black(self, msg: Message) -> None:
+        if self.color == WHITE_STATE:
+            self.declare_gray(msg.sender)
+
+    def _on_gray(self, msg: Message) -> None:
+        self._pending_lower.discard(msg.sender)
+        if self.color == WHITE_STATE and not self._pending_lower:
+            self.declare_black()
+
+    # ------------------------------------------------------------------
+    # Declarations (overridable hooks)
+    # ------------------------------------------------------------------
+    def declare_black(self) -> None:
+        """Mark black and announce; called at most once."""
+        self.color = BLACK_STATE
+        self.ctx.broadcast(self.black_kind)
+
+    def declare_gray(self, dominator: Hashable) -> None:
+        """Mark gray (dominated by ``dominator``) and announce."""
+        self.color = GRAY_STATE
+        self.ctx.broadcast(self.gray_kind)
+
+    def result(self) -> Dict[str, object]:
+        return {"color": self.color}
+
+
+def distributed_mis(
+    graph: Graph,
+    ranking: Optional[Mapping[Hashable, Rank]] = None,
+    *,
+    latency: Optional[LatencyModel] = None,
+    seed: Optional[int] = None,
+) -> Tuple[Set[Hashable], SimStats]:
+    """Run the marking protocol; returns ``(MIS, stats)``.
+
+    Defaults to id ranking (Algorithm II's MIS phase).  The result is
+    guaranteed equal to ``greedy_mis(graph, ranking)``.
+    """
+    if ranking is None:
+        ranking = id_ranking(graph)
+    validate_ranking(graph, ranking)
+    sim = Simulator(
+        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed
+    )
+    stats = sim.run()
+    results = sim.collect_results()
+    undecided = [n for n, res in results.items() if res["color"] == WHITE_STATE]
+    if undecided:
+        raise RuntimeError(f"marking did not terminate: white={undecided!r}")
+    mis = {n for n, res in results.items() if res["color"] == BLACK_STATE}
+    return mis, stats

@@ -1,0 +1,168 @@
+"""Structural properties of maximal independent sets (Section 2.1).
+
+These checks are the measurement side of the paper's Lemmas 1-3 and
+Theorem 4: the benchmarks report the measured extrema next to the proven
+bounds, and the property tests assert the bounds hold on every sampled
+unit-disk graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Hashable, Iterable, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    is_connected,
+    k_hop_neighborhood,
+    nodes_at_exact_distance,
+)
+
+
+def is_independent_set(graph: Graph, nodes: Iterable[Hashable]) -> bool:
+    """No two of ``nodes`` are adjacent."""
+    members = set(nodes)
+    return all(
+        not (graph.adjacency(node) & members) for node in members
+    )
+
+
+def is_dominating_set(graph: Graph, nodes: Iterable[Hashable]) -> bool:
+    """Every node is in ``nodes`` or adjacent to one of them."""
+    members = set(nodes)
+    for node in graph.nodes():
+        if node in members:
+            continue
+        if not (graph.adjacency(node) & members):
+            return False
+    return True
+
+
+def is_maximal_independent_set(graph: Graph, nodes: Iterable[Hashable]) -> bool:
+    """Independent and dominating — maximality is exactly domination."""
+    members = set(nodes)
+    return is_independent_set(graph, members) and is_dominating_set(graph, members)
+
+
+def mis_neighbor_counts(graph: Graph, mis: Set[Hashable]) -> Dict[Hashable, int]:
+    """For each node *not* in the MIS, its number of MIS neighbors.
+
+    Lemma 1 bounds every value by 5 on unit-disk graphs.
+    """
+    return {
+        node: len(graph.adjacency(node) & mis)
+        for node in graph.nodes()
+        if node not in mis
+    }
+
+
+def max_mis_neighbors(graph: Graph, mis: Set[Hashable]) -> int:
+    """The measured maximum for Lemma 1 (0 if every node is in the MIS)."""
+    counts = mis_neighbor_counts(graph, mis)
+    return max(counts.values()) if counts else 0
+
+
+def mis_nodes_at_exactly_two_hops(
+    graph: Graph, mis: Set[Hashable], node: Hashable
+) -> Set[Hashable]:
+    """MIS nodes at hop distance exactly 2 from ``node`` (Lemma 2.1)."""
+    return nodes_at_exact_distance(graph, node, 2) & mis
+
+
+def mis_nodes_within_three_hops(
+    graph: Graph, mis: Set[Hashable], node: Hashable
+) -> Set[Hashable]:
+    """MIS nodes within hop distance 3 of ``node``, excluding it
+    (Lemma 2.2)."""
+    return k_hop_neighborhood(graph, node, 3) & mis
+
+
+def lemma2_extrema(graph: Graph, mis: Set[Hashable]) -> Tuple[int, int]:
+    """``(max #MIS at exactly 2 hops, max #MIS within 3 hops)`` over all
+    MIS nodes — the two quantities Lemma 2 bounds by 23 and 47."""
+    max_two = 0
+    max_three = 0
+    for node in mis:
+        distances = bfs_distances(graph, node, cutoff=3)
+        two = sum(1 for m in mis if distances.get(m) == 2)
+        three = sum(1 for m in mis if m != node and distances.get(m, 4) <= 3)
+        max_two = max(max_two, two)
+        max_three = max(max_three, three)
+    return max_two, max_three
+
+
+def mis_overlay_graph(graph: Graph, mis: Set[Hashable], max_hops: int) -> Graph:
+    """The graph on MIS nodes with edges between pairs ≤ ``max_hops``
+    apart in ``graph``.
+
+    Lemma 3 is equivalent to: the overlay with ``max_hops=3`` is
+    connected (every complementary bipartition then has a crossing pair
+    at distance 2 or 3).  Theorem 4's strengthening is: the overlay with
+    ``max_hops=2`` is connected.
+    """
+    overlay = Graph()
+    for node in mis:
+        overlay.add_node(node)
+    for node in mis:
+        distances = bfs_distances(graph, node, cutoff=max_hops)
+        for other in mis:
+            if other != node and other in distances:
+                overlay.add_edge(node, other)
+    return overlay
+
+
+def complementary_subsets_within(graph: Graph, mis: Set[Hashable], max_hops: int) -> bool:
+    """Whether *every* pair of complementary MIS subsets is within
+    ``max_hops`` hops of each other.
+
+    Checked via overlay connectivity rather than enumerating the 2^|S|
+    bipartitions: the minimum over bipartitions of the cross distance is
+    > ``max_hops`` iff the overlay is disconnected.
+    """
+    if len(mis) <= 1:
+        return True
+    return is_connected(mis_overlay_graph(graph, mis, max_hops))
+
+
+def min_pairwise_mis_distance(graph: Graph, mis: Set[Hashable]) -> int:
+    """Minimum hop distance between distinct MIS nodes (≥ 2 always)."""
+    best = None
+    for node in mis:
+        distances = bfs_distances(graph, node)
+        for other in mis:
+            if other == node:
+                continue
+            dist = distances.get(other)
+            if dist is not None and (best is None or dist < best):
+                best = dist
+    if best is None:
+        raise ValueError("need at least two MIS nodes in one component")
+    return best
+
+
+def brute_force_subset_distance_check(
+    graph: Graph, mis: Set[Hashable], max_hops: int
+) -> bool:
+    """Enumerate all complementary bipartitions (exponential — tests
+    only) and check each is within ``max_hops``.
+
+    Exists to validate the overlay-connectivity shortcut on small
+    instances.
+    """
+    members = sorted(mis, key=repr)
+    if len(members) <= 1:
+        return True
+    all_pairs_dist = {node: bfs_distances(graph, node) for node in members}
+    for size in range(1, len(members) // 2 + 1):
+        for subset in itertools.combinations(members, size):
+            side_a = set(subset)
+            side_b = set(members) - side_a
+            best = min(
+                all_pairs_dist[a].get(b, float("inf"))
+                for a in side_a
+                for b in side_b
+            )
+            if best > max_hops:
+                return False
+    return True

@@ -1,0 +1,56 @@
+"""Node ranking schemes (Section 2.2 of the paper).
+
+A *rank* is a unique, totally ordered identifier used to break ties when
+building a maximal independent set.  The paper distinguishes *static*
+ranks, fixed for the whole construction (the node id), from *dynamic*
+ranks that evolve as nodes are marked (white-degree then id).  The
+level-based rank ``(tree level, id)`` is the one that makes the MIS a
+WCDS (Theorems 4 and 5).
+
+A ranking here is simply a dict mapping every node to a sortable key;
+uniqueness is enforced because ties would stall the distributed marking.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Tuple
+
+from repro.graphs.graph import Graph
+
+Rank = Tuple
+
+
+def id_ranking(graph: Graph) -> Dict[Hashable, Rank]:
+    """Static ranking by node id alone (Algorithm II's ranking)."""
+    return {node: (node,) for node in graph.nodes()}
+
+
+def level_ranking(graph: Graph, levels: Mapping[Hashable, int]) -> Dict[Hashable, Rank]:
+    """Level-based ranking ``(level, id)`` (Algorithm I's ranking).
+
+    ``levels`` maps each node to its depth in a spanning tree rooted at
+    the leader; ranks sort lexicographically, so the root is lowest.
+    """
+    missing = set(graph.nodes()) - set(levels)
+    if missing:
+        raise ValueError(f"levels missing for nodes: {sorted(map(repr, missing))}")
+    return {node: (levels[node], node) for node in graph.nodes()}
+
+
+def degree_ranking(graph: Graph) -> Dict[Hashable, Rank]:
+    """Static ranking by ``(-degree, id)``: high-degree nodes first.
+
+    A static stand-in for the paper's dynamic (degree, ID) example; the
+    dynamic variant lives in
+    :func:`repro.mis.centralized.greedy_mis_dynamic_degree`.
+    """
+    return {node: (-graph.degree(node), node) for node in graph.nodes()}
+
+
+def validate_ranking(graph: Graph, ranking: Mapping[Hashable, Rank]) -> None:
+    """Check the ranking covers every node and is injective."""
+    missing = set(graph.nodes()) - set(ranking)
+    if missing:
+        raise ValueError(f"ranking missing nodes: {sorted(map(repr, missing))}")
+    if len(set(ranking.values())) != len(ranking):
+        raise ValueError("ranking is not injective: ranks must be unique")

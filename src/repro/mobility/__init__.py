@@ -1,0 +1,23 @@
+"""Mobility models and local WCDS maintenance (the paper's §4.2
+maintenance sketch, implemented)."""
+
+from repro.mobility.waypoint import LinkEvents, RandomWaypointModel
+from repro.mobility.models import (
+    GaussMarkovModel,
+    MobilityModel,
+    RandomDirectionModel,
+)
+from repro.mobility.maintenance import MaintainedWCDS, MaintenanceReport
+from repro.mobility.protocol import MaintenanceSimulation, MisMaintenanceNode
+
+__all__ = [
+    "LinkEvents",
+    "RandomWaypointModel",
+    "GaussMarkovModel",
+    "MobilityModel",
+    "RandomDirectionModel",
+    "MaintainedWCDS",
+    "MaintenanceReport",
+    "MaintenanceSimulation",
+    "MisMaintenanceNode",
+]

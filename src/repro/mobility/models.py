@@ -1,0 +1,159 @@
+"""Additional mobility models: random direction and Gauss-Markov.
+
+Random waypoint (``repro.mobility.waypoint``) is the default, but its
+well-known density bias (nodes cluster toward the middle of the area)
+makes a second and third model worthwhile for the maintenance
+experiments:
+
+* **Random direction** — each node picks a heading and travels until it
+  hits the boundary, where it reflects and picks a new heading; node
+  density stays uniform.
+* **Gauss-Markov** — heading and speed evolve as an AR(1) process, so
+  motion is temporally correlated (smooth trajectories), tunable from
+  near-Brownian (alpha → 0) to near-constant-velocity (alpha → 1).
+
+All models share the :class:`MobilityModel` protocol: ``step(dt)``
+moves every node in the attached UDG and returns the link events.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, List, Optional, Protocol, Tuple
+
+from repro.geometry.point import Point
+from repro.graphs.udg import UnitDiskGraph
+from repro.mobility.waypoint import LinkEvents
+
+
+class MobilityModel(Protocol):
+    """Common protocol of all mobility models."""
+
+    def step(self, dt: float = 1.0) -> LinkEvents: ...
+
+
+def _clamp_reflect(value: float, limit: float) -> Tuple[float, bool]:
+    """Reflect ``value`` into ``[0, limit]``; flag if reflected."""
+    reflected = False
+    while not 0.0 <= value <= limit:
+        reflected = True
+        if value < 0.0:
+            value = -value
+        else:
+            value = 2.0 * limit - value
+    return value, reflected
+
+
+class RandomDirectionModel:
+    """Straight-line travel with boundary reflection."""
+
+    def __init__(
+        self,
+        udg: UnitDiskGraph,
+        side: float,
+        speed_range: Tuple[float, float] = (0.05, 0.2),
+        seed: Optional[int] = None,
+    ) -> None:
+        if speed_range[0] <= 0 or speed_range[0] > speed_range[1]:
+            raise ValueError("need 0 < min_speed <= max_speed")
+        self.udg = udg
+        self.side = side
+        self._rng = random.Random(seed)
+        self._speed: Dict[Hashable, float] = {
+            node: self._rng.uniform(*speed_range) for node in udg.nodes()
+        }
+        self._heading: Dict[Hashable, float] = {
+            node: self._rng.uniform(0.0, 2.0 * math.pi) for node in udg.nodes()
+        }
+
+    def step(self, dt: float = 1.0) -> LinkEvents:
+        """Advance every node along its heading, reflecting at walls."""
+        gained: List[Tuple[Hashable, Hashable]] = []
+        lost: List[Tuple[Hashable, Hashable]] = []
+        for node in list(self.udg.nodes()):
+            pos = self.udg.positions[node]
+            travel = self._speed[node] * dt
+            x = pos.x + travel * math.cos(self._heading[node])
+            y = pos.y + travel * math.sin(self._heading[node])
+            x, rx = _clamp_reflect(x, self.side)
+            y, ry = _clamp_reflect(y, self.side)
+            if rx or ry:
+                self._heading[node] = self._rng.uniform(0.0, 2.0 * math.pi)
+            up, down = self.udg.move_node(node, Point(x, y))
+            gained.extend((node, other) for other in up)
+            lost.extend((node, other) for other in down)
+        return LinkEvents(gained=tuple(gained), lost=tuple(lost))
+
+
+class GaussMarkovModel:
+    """Temporally correlated mobility (Liang & Haas 1999 style).
+
+    speed_t = α·speed_{t-1} + (1-α)·mean + sqrt(1-α²)·noise, and the
+    same recurrence for the heading.  ``alpha`` in [0, 1): 0 is
+    memoryless, values near 1 give smooth, persistent trajectories.
+    """
+
+    def __init__(
+        self,
+        udg: UnitDiskGraph,
+        side: float,
+        mean_speed: float = 0.12,
+        alpha: float = 0.85,
+        speed_sigma: float = 0.04,
+        heading_sigma: float = 0.5,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must be in [0, 1)")
+        if mean_speed <= 0:
+            raise ValueError("mean_speed must be positive")
+        self.udg = udg
+        self.side = side
+        self.alpha = alpha
+        self.mean_speed = mean_speed
+        self.speed_sigma = speed_sigma
+        self.heading_sigma = heading_sigma
+        self._rng = random.Random(seed)
+        self._speed: Dict[Hashable, float] = {
+            node: mean_speed for node in udg.nodes()
+        }
+        self._heading: Dict[Hashable, float] = {
+            node: self._rng.uniform(0.0, 2.0 * math.pi) for node in udg.nodes()
+        }
+
+    def _evolve(self, node: Hashable) -> None:
+        a = self.alpha
+        noise_scale = math.sqrt(max(0.0, 1.0 - a * a))
+        self._speed[node] = max(
+            1e-3,
+            a * self._speed[node]
+            + (1 - a) * self.mean_speed
+            + noise_scale * self._rng.gauss(0.0, self.speed_sigma),
+        )
+        mean_heading = self._heading[node]
+        self._heading[node] = (
+            a * self._heading[node]
+            + (1 - a) * mean_heading
+            + noise_scale * self._rng.gauss(0.0, self.heading_sigma)
+        )
+
+    def step(self, dt: float = 1.0) -> LinkEvents:
+        """Evolve speed/heading, then advance with wall reflection."""
+        gained: List[Tuple[Hashable, Hashable]] = []
+        lost: List[Tuple[Hashable, Hashable]] = []
+        for node in list(self.udg.nodes()):
+            self._evolve(node)
+            pos = self.udg.positions[node]
+            travel = self._speed[node] * dt
+            x = pos.x + travel * math.cos(self._heading[node])
+            y = pos.y + travel * math.sin(self._heading[node])
+            x, rx = _clamp_reflect(x, self.side)
+            y, ry = _clamp_reflect(y, self.side)
+            if rx or ry:
+                # Turn around on reflection to avoid wall-hugging.
+                self._heading[node] += math.pi
+            up, down = self.udg.move_node(node, Point(x, y))
+            gained.extend((node, other) for other in up)
+            lost.extend((node, other) for other in down)
+        return LinkEvents(gained=tuple(gained), lost=tuple(lost))

@@ -1,0 +1,33 @@
+"""Routing over the WCDS backbone: clusterhead unicast (Section 4.2)
+and backbone broadcast."""
+
+from repro.routing.clusterhead import (
+    ClusterheadRouter,
+    DominatorLists,
+    spanner_route,
+)
+from repro.routing.broadcast import (
+    BroadcastOutcome,
+    backbone_broadcast,
+    blind_flood,
+)
+from repro.routing.table_protocol import LinkStateNode, build_routing_tables
+from repro.routing.broadcast_protocol import (
+    ProtocolBroadcastOutcome,
+    backbone_protocol,
+    flood_protocol,
+)
+
+__all__ = [
+    "ClusterheadRouter",
+    "DominatorLists",
+    "spanner_route",
+    "BroadcastOutcome",
+    "backbone_broadcast",
+    "blind_flood",
+    "LinkStateNode",
+    "build_routing_tables",
+    "ProtocolBroadcastOutcome",
+    "backbone_protocol",
+    "flood_protocol",
+]

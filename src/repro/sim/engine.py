@@ -1,0 +1,200 @@
+"""Discrete-event simulator for distributed protocols on a graph.
+
+The radio model is the paper's: a node's transmission is heard by every
+current neighbor in the communication graph (local broadcast), and one
+transmission counts as one message.  Delivery times come from a pluggable
+latency model; with the default fixed unit latency the execution is the
+synchronous round model the complexity theorems assume.
+
+Fault injection (per-delivery loss, node crashes) goes beyond the paper
+and exists to stress protocol implementations in tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.messages import Message
+from repro.sim.node import NodeContext, ProtocolNode
+from repro.sim.stats import SimStats
+
+NodeFactory = Callable[[NodeContext], ProtocolNode]
+
+_DELIVER = 0
+_TIMER = 1
+
+
+class Simulator:
+    """Runs one protocol over all nodes of a communication graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        node_factory: NodeFactory,
+        *,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+        seed: Optional[int] = None,
+        tracer=None,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.graph = graph
+        self.tracer = tracer
+        self.latency = latency if latency is not None else FixedLatency(1.0)
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self.now = 0.0
+        self.stats = SimStats()
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._dead: set = set()
+        self._started = False
+        self.nodes: Dict[Hashable, ProtocolNode] = {}
+        for node_id in graph.nodes():
+            ctx = NodeContext(self, node_id)
+            self.nodes[node_id] = node_factory(ctx)
+
+    # ------------------------------------------------------------------
+    # Node-facing API (called through NodeContext)
+    # ------------------------------------------------------------------
+    def neighbor_ids(self, node_id: Hashable) -> FrozenSet[Hashable]:
+        """Live neighbors of ``node_id`` (crashed nodes excluded)."""
+        return frozenset(
+            nbr for nbr in self.graph.adjacency(node_id) if nbr not in self._dead
+        )
+
+    def transmit(self, message: Message) -> None:
+        """One radio transmission: fan out deliveries to the audience."""
+        sender = message.sender
+        if sender in self._dead:
+            return
+        self.stats.record_send(sender, message.kind, message.payload_size())
+        if self.tracer is not None:
+            self.tracer.on_send(self.now, message)
+        if message.dest is None:
+            audience: Iterable[Hashable] = self.graph.adjacency(sender)
+        else:
+            if message.dest not in self.graph.adjacency(sender):
+                raise ValueError(
+                    f"node {sender!r} cannot unicast to non-neighbor {message.dest!r}"
+                )
+            audience = (message.dest,)
+        for receiver in audience:
+            if receiver in self._dead:
+                continue
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.stats.record_drop()
+                if self.tracer is not None:
+                    self.tracer.on_drop(self.now, receiver, message)
+                continue
+            delay = self.latency(sender, receiver)
+            self._push(self.now + delay, _DELIVER, receiver, message)
+
+    def schedule_timer(self, node_id: Hashable, delay: float, tag: str) -> None:
+        """Schedule an ``on_timer`` callback for a node."""
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self._push(self.now + delay, _TIMER, node_id, tag)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: Hashable) -> None:
+        """Crash a node: it stops sending and receiving immediately."""
+        self._dead.add(node_id)
+
+    def revive_node(self, node_id: Hashable) -> None:
+        """Bring a crashed node back (with whatever state it had)."""
+        self._dead.discard(node_id)
+
+    @property
+    def crashed(self) -> FrozenSet[Hashable]:
+        """Currently crashed nodes."""
+        return frozenset(self._dead)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self, until: Optional[float] = None, max_events: int = 10_000_000
+    ) -> SimStats:
+        """Start every node and process events to quiescence.
+
+        Stops when the event queue drains, simulated time passes
+        ``until``, or ``max_events`` have been processed (a livelock
+        guard: exceeding it raises ``RuntimeError`` because a correct
+        terminating protocol should have gone quiet).
+
+        ``run`` may be called repeatedly (e.g. with increasing
+        ``until`` deadlines to interleave topology changes); nodes are
+        started exactly once, on the first call.
+        """
+        if not self._started:
+            self._started = True
+            for node_id, node in self.nodes.items():
+                if node_id not in self._dead:
+                    node.on_start()
+        processed = 0
+        while self._queue:
+            time, _, etype, target, payload = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                # Leave the event for a later `run(until=...)` call.
+                self._push_raw(time, etype, target, payload)
+                self.now = until
+                break
+            self.now = time
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"protocol did not quiesce within {max_events} events"
+                )
+            if target in self._dead:
+                continue
+            node = self.nodes[target]
+            if etype == _DELIVER:
+                self.stats.record_delivery()
+                if self.tracer is not None:
+                    self.tracer.on_deliver(self.now, target, payload)
+                node.on_message(payload)
+            else:
+                node.on_timer(payload)
+        self.stats.finish_time = self.now
+        self.stats.events_processed += processed
+        return self.stats
+
+    def collect_results(self) -> Dict[Hashable, Dict[str, Any]]:
+        """Gather each node's :meth:`ProtocolNode.result`."""
+        return {node_id: node.result() for node_id, node in self.nodes.items()}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _push(self, time: float, etype: int, target: Hashable, payload) -> None:
+        self._push_raw(time, etype, target, payload)
+
+    def _push_raw(self, time: float, etype: int, target: Hashable, payload) -> None:
+        heapq.heappush(self._queue, (time, next(self._seq), etype, target, payload))
+
+
+def run_protocol(
+    graph: Graph,
+    node_factory: NodeFactory,
+    *,
+    latency: Optional[LatencyModel] = None,
+    loss_rate: float = 0.0,
+    seed: Optional[int] = None,
+    max_events: int = 10_000_000,
+) -> Tuple[Dict[Hashable, Dict[str, Any]], SimStats]:
+    """Convenience: build a simulator, run to quiescence, return
+    ``(per-node results, stats)``."""
+    sim = Simulator(
+        graph, node_factory, latency=latency, loss_rate=loss_rate, seed=seed
+    )
+    stats = sim.run(max_events=max_events)
+    return sim.collect_results(), stats

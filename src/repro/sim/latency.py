@@ -1,0 +1,55 @@
+"""Link latency models.
+
+The paper's complexity claims are stated for the standard synchronous
+message-passing model, so the default latency is a fixed one time unit —
+delivery times then coincide with rounds.  The jittered model breaks the
+lock-step to check that the protocols are correct under asynchrony (they
+only ever wait on *sets* of messages, never on global rounds).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Optional, Protocol
+
+
+class LatencyModel(Protocol):
+    """Callable giving the delivery delay of one message on one link."""
+
+    def __call__(self, sender: Hashable, receiver: Hashable) -> float: ...
+
+
+class FixedLatency:
+    """Every delivery takes exactly ``delay`` time units (default 1)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError("latency must be positive")
+        self.delay = delay
+
+    def __call__(self, sender: Hashable, receiver: Hashable) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Delivery delay drawn uniformly from ``[low, high]`` per message.
+
+    Models asynchrony: different receivers of the same broadcast may
+    hear it at different times, and messages can overtake each other.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.5,
+        high: float = 1.5,
+        seed: Optional[int] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if not (0 < low <= high):
+            raise ValueError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def __call__(self, sender: Hashable, receiver: Hashable) -> float:
+        return self._rng.uniform(self.low, self.high)

@@ -1,0 +1,54 @@
+"""Message envelope used by the simulator.
+
+Protocols exchange small typed payloads.  The simulator treats the
+payload as opaque; ``kind`` is the protocol-level message name (the
+paper's BLACK / GRAY / MIS-DOMINATOR / ... messages) and is what the
+per-kind message accounting groups by.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """A protocol message.
+
+    ``dest`` is ``None`` for a local broadcast (one radio transmission
+    heard by every neighbor — the paper's unit of message accounting) or
+    a specific neighbor id for a unicast.
+    """
+
+    sender: Hashable
+    kind: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    dest: Optional[Hashable] = None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload field access with a default."""
+        return self.data.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the message was a local broadcast."""
+        return self.dest is None
+
+    def payload_size(self) -> int:
+        """Number of payload entries, for communication-volume stats.
+
+        Counts 1 per scalar field and the length of each collection
+        field (a neighbor list of k ids costs k), plus 1 for the kind
+        header — a simple, protocol-agnostic size model.
+        """
+        size = 1  # the message kind itself
+        for value in self.data.values():
+            if isinstance(value, (tuple, list, frozenset, set, dict)):
+                size += max(len(value), 1)
+            else:
+                size += 1
+        return size

@@ -1,0 +1,107 @@
+"""Protocol execution traces.
+
+A :class:`TraceRecorder` attached to a :class:`~repro.sim.engine.Simulator`
+logs every transmission and delivery with its timestamp, giving
+post-mortem visibility into a protocol run: who sent what when, per-kind
+timelines, and a human-readable transcript — the tool you want when a
+distributed state machine wedges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.sim.messages import Message
+
+SEND = "send"
+DELIVER = "deliver"
+DROP = "drop"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One logged radio event."""
+
+    time: float
+    action: str  # send | deliver | drop
+    node: Hashable  # the sender (send) or receiver (deliver/drop)
+    kind: str
+    sender: Hashable
+    dest: Optional[Hashable]  # None = broadcast
+
+    def format(self) -> str:
+        """One transcript line."""
+        target = "*" if self.dest is None else str(self.dest)
+        if self.action == SEND:
+            return f"[{self.time:8.2f}] {self.sender} -> {target}  {self.kind}"
+        arrow = "==" if self.action == DELIVER else "xx"
+        return f"[{self.time:8.2f}] {self.sender} {arrow}> {self.node}  {self.kind}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` rows during a simulation run."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+    # Hooks called by the simulator
+    # ------------------------------------------------------------------
+    def on_send(self, time: float, message: Message) -> None:
+        self._append(
+            TraceEvent(time, SEND, message.sender, message.kind, message.sender, message.dest)
+        )
+
+    def on_deliver(self, time: float, receiver: Hashable, message: Message) -> None:
+        self._append(
+            TraceEvent(time, DELIVER, receiver, message.kind, message.sender, message.dest)
+        )
+
+    def on_drop(self, time: float, receiver: Hashable, message: Message) -> None:
+        self._append(
+            TraceEvent(time, DROP, receiver, message.kind, message.sender, message.dest)
+        )
+
+    def _append(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            raise RuntimeError(f"trace exceeded {self.max_events} events")
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def sends(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """All transmissions, optionally filtered by message kind."""
+        return [
+            e
+            for e in self.events
+            if e.action == SEND and (kind is None or e.kind == kind)
+        ]
+
+    def messages_of(self, node: Hashable) -> List[TraceEvent]:
+        """Every event a node participated in (as sender or receiver)."""
+        return [e for e in self.events if e.node == node or e.sender == node]
+
+    def kind_timeline(self, kind: str) -> List[Tuple[float, Hashable]]:
+        """(time, sender) pairs for every transmission of ``kind`` —
+        handy for checking phase orderings (e.g. all GRAY before any
+        2-HOP-DOMINATORS at a given node)."""
+        return [(e.time, e.sender) for e in self.sends(kind)]
+
+    def first_send_time(self, kind: str) -> Optional[float]:
+        """When the first message of ``kind`` was transmitted."""
+        sends = self.sends(kind)
+        return sends[0].time if sends else None
+
+    def transcript(self, limit: Optional[int] = None) -> str:
+        """The run as readable lines, optionally truncated."""
+        rows = self.events if limit is None else self.events[:limit]
+        lines = [event.format() for event in rows]
+        if limit is not None and len(self.events) > limit:
+            lines.append(f"... ({len(self.events) - limit} more events)")
+        return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Sparse spanner measurement: sparsity accounting and dilation."""
+
+from repro.spanner.sparsity import (
+    EdgeTypeCounts,
+    classify_black_edges,
+    sparsity_report,
+)
+from repro.spanner.dilation import (
+    DilationReport,
+    max_length_min_hop_paths,
+    measure_dilation,
+    sampled_dilation,
+)
+from repro.spanner.lemma6 import Lemma6Report, fit_hop_bound, verify_lemma6
+
+__all__ = [
+    "EdgeTypeCounts",
+    "classify_black_edges",
+    "sparsity_report",
+    "DilationReport",
+    "max_length_min_hop_paths",
+    "measure_dilation",
+    "sampled_dilation",
+    "Lemma6Report",
+    "fit_hop_bound",
+    "verify_lemma6",
+]

@@ -1,0 +1,112 @@
+"""Lemma 6 (Section 3): from hop dilation to geometric dilation.
+
+The lemma is generic — for ANY spanner G' of a UDG G and constants
+α, β: if every non-adjacent pair satisfies ``h'(u,v) ≤ α·h(u,v) + β``,
+then every non-adjacent pair satisfies ``l'(u,v) < 2α·l(u,v) + α + β``.
+
+:func:`verify_lemma6` checks both sides pointwise on a concrete
+spanner, and :func:`fit_hop_bound` finds the smallest empirical (α, β)
+in a family — together they let the benchmarks demonstrate the lemma on
+spanners other than Algorithm II's (where Theorem 11 fixes α=3, β=2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances
+from repro.graphs.udg import UnitDiskGraph
+from repro.graphs.weighted import euclidean_shortest_path_lengths
+from repro.spanner.dilation import max_length_min_hop_paths
+
+
+@dataclass(frozen=True)
+class Lemma6Report:
+    """Outcome of a pointwise Lemma 6 verification."""
+
+    alpha: float
+    beta: float
+    pairs: int
+    hypothesis_holds: bool  # h' <= alpha*h + beta everywhere
+    conclusion_holds: bool  # l' < 2*alpha*l + alpha + beta everywhere
+    worst_hop_slack: float
+    worst_length_slack: float
+
+    @property
+    def lemma_respected(self) -> bool:
+        """Lemma 6 as an implication: hypothesis ⇒ conclusion."""
+        return (not self.hypothesis_holds) or self.conclusion_holds
+
+
+def verify_lemma6(
+    udg: UnitDiskGraph,
+    spanner: Graph,
+    alpha: float,
+    beta: float,
+    sources: Optional[Iterable] = None,
+) -> Lemma6Report:
+    """Check Lemma 6's hypothesis and conclusion pointwise.
+
+    Evaluates all non-adjacent pairs reachable from ``sources``
+    (default: every node).
+    """
+    source_list = list(sources) if sources is not None else list(udg.nodes())
+    pairs = 0
+    worst_hop = float("-inf")
+    worst_len = float("-inf")
+    for source in source_list:
+        g_hops = bfs_distances(udg, source)
+        g_len = euclidean_shortest_path_lengths(udg, source)
+        s_hops, s_maxlen = max_length_min_hop_paths(udg, spanner, source)
+        for target, h in g_hops.items():
+            if target == source or h == 1:
+                continue
+            if target not in s_hops:
+                raise AssertionError(
+                    f"spanner disconnects {source!r} from {target!r}"
+                )
+            pairs += 1
+            worst_hop = max(worst_hop, s_hops[target] - (alpha * h + beta))
+            worst_len = max(
+                worst_len,
+                s_maxlen[target] - (2 * alpha * g_len[target] + alpha + beta),
+            )
+    if pairs == 0:
+        worst_hop = worst_len = float("-inf")
+    return Lemma6Report(
+        alpha=alpha,
+        beta=beta,
+        pairs=pairs,
+        hypothesis_holds=worst_hop <= 1e-9,
+        conclusion_holds=worst_len < -1e-12 or worst_len <= 1e-9,
+        worst_hop_slack=worst_hop,
+        worst_length_slack=worst_len,
+    )
+
+
+def fit_hop_bound(
+    udg: UnitDiskGraph,
+    spanner: Graph,
+    beta: float = 2.0,
+    sources: Optional[Iterable] = None,
+) -> float:
+    """Smallest α such that ``h' ≤ α·h + beta`` holds pointwise.
+
+    Used to measure the *empirical* hop dilation of a spanner with no
+    proven bound (e.g. Algorithm I's), which Lemma 6 then converts into
+    a certified length bound.
+    """
+    source_list = list(sources) if sources is not None else list(udg.nodes())
+    alpha = 0.0
+    for source in source_list:
+        g_hops = bfs_distances(udg, source)
+        s_hops = bfs_distances(spanner, source)
+        for target, h in g_hops.items():
+            if target == source or h == 1:
+                continue
+            needed = (s_hops[target] - beta) / h
+            if needed > alpha:
+                alpha = needed
+    return alpha

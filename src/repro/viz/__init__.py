@@ -1,0 +1,7 @@
+"""SVG visualization: regenerate the paper's figures without any
+plotting dependency."""
+
+from repro.viz.svg import SvgCanvas
+from repro.viz.figures import draw_levels, draw_route, draw_udg, draw_wcds
+
+__all__ = ["SvgCanvas", "draw_levels", "draw_route", "draw_udg", "draw_wcds"]

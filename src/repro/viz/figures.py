@@ -1,0 +1,126 @@
+"""Network figure rendering: regenerate the paper's illustrations.
+
+Renders unit-disk graphs with WCDS colorings into standalone SVG files:
+
+* :func:`draw_udg` — Figure 1: the raw unit-disk graph;
+* :func:`draw_wcds` — Figure 2: dominators (black), gray nodes, black
+  edges solid / white edges dashed;
+* :func:`draw_route` — a routed path over the spanner (§4.2);
+* :func:`draw_levels` — Figure 6's level-based ranks as labels.
+
+Colors follow the paper's vocabulary: MIS-dominators are black,
+additional-dominators dark blue, dominated nodes gray.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Optional, Sequence
+
+from repro.graphs.udg import UnitDiskGraph
+from repro.viz.svg import SvgCanvas
+from repro.wcds.base import WCDSResult
+
+MIS_COLOR = "#111111"
+ADDITIONAL_COLOR = "#1f4e8c"
+GRAY_COLOR = "#b9b9b9"
+EDGE_COLOR = "#888888"
+BLACK_EDGE_COLOR = "#111111"
+ROUTE_COLOR = "#c0392b"
+
+NODE_RADIUS = 0.09
+PIXELS_PER_UNIT = 90
+
+
+def _canvas_for(udg: UnitDiskGraph, margin: float = 0.4) -> SvgCanvas:
+    xs = [p.x for p in udg.positions.values()] or [0.0]
+    ys = [p.y for p in udg.positions.values()] or [0.0]
+    min_x, max_x = min(xs) - margin, max(xs) + margin
+    min_y, max_y = min(ys) - margin, max(ys) + margin
+    width = (max_x - min_x) * PIXELS_PER_UNIT
+    height = (max_y - min_y) * PIXELS_PER_UNIT
+    return SvgCanvas(
+        width, height, viewbox=(min_x, min_y, max_x - min_x, max_y - min_y)
+    )
+
+
+def draw_udg(
+    udg: UnitDiskGraph,
+    labels: bool = False,
+) -> SvgCanvas:
+    """Figure 1: nodes and unit-disk edges."""
+    canvas = _canvas_for(udg)
+    for u, v in udg.edges():
+        pu, pv = udg.positions[u], udg.positions[v]
+        canvas.line(pu.x, pu.y, pv.x, pv.y, stroke=EDGE_COLOR)
+    for node, pos in udg.positions.items():
+        canvas.circle(pos.x, pos.y, NODE_RADIUS, fill=GRAY_COLOR, stroke="#555")
+        if labels:
+            canvas.text(pos.x, pos.y - 0.15, str(node))
+    return canvas
+
+
+def draw_wcds(
+    udg: UnitDiskGraph,
+    result: WCDSResult,
+    labels: bool = False,
+) -> SvgCanvas:
+    """Figure 2: WCDS coloring and the weakly induced (black) edges."""
+    canvas = _canvas_for(udg)
+    dominators = set(result.dominators)
+    # White edges first (dashed, underneath), then black edges.
+    for u, v in udg.edges():
+        if u in dominators or v in dominators:
+            continue
+        pu, pv = udg.positions[u], udg.positions[v]
+        canvas.line(pu.x, pu.y, pv.x, pv.y, stroke=EDGE_COLOR, dashed=True, opacity=0.6)
+    for u, v in udg.edges():
+        if u not in dominators and v not in dominators:
+            continue
+        pu, pv = udg.positions[u], udg.positions[v]
+        canvas.line(pu.x, pu.y, pv.x, pv.y, stroke=BLACK_EDGE_COLOR, width=0.03)
+    for node, pos in udg.positions.items():
+        if node in result.mis_dominators:
+            fill = MIS_COLOR
+        elif node in result.additional_dominators:
+            fill = ADDITIONAL_COLOR
+        else:
+            fill = GRAY_COLOR
+        canvas.circle(pos.x, pos.y, NODE_RADIUS, fill=fill, stroke="#333")
+        if labels:
+            canvas.text(pos.x, pos.y - 0.15, str(node))
+    return canvas
+
+
+def draw_route(
+    udg: UnitDiskGraph,
+    result: WCDSResult,
+    path: Sequence[Hashable],
+    labels: bool = False,
+) -> SvgCanvas:
+    """A routed path highlighted over the WCDS spanner."""
+    canvas = draw_wcds(udg, result, labels=labels)
+    points = [(udg.positions[n].x, udg.positions[n].y) for n in path]
+    canvas.polyline(points, stroke=ROUTE_COLOR)
+    if path:
+        first = udg.positions[path[0]]
+        last = udg.positions[path[-1]]
+        canvas.circle(first.x, first.y, NODE_RADIUS * 1.4, fill="none", stroke=ROUTE_COLOR, stroke_width=0.03)
+        canvas.circle(last.x, last.y, NODE_RADIUS * 1.4, fill="none", stroke=ROUTE_COLOR, stroke_width=0.03)
+    return canvas
+
+
+def draw_levels(
+    udg: UnitDiskGraph,
+    levels: Mapping[Hashable, int],
+    mis: Optional[set] = None,
+) -> SvgCanvas:
+    """Figure 6: the (level, id) ranks printed next to each node."""
+    canvas = _canvas_for(udg)
+    for u, v in udg.edges():
+        pu, pv = udg.positions[u], udg.positions[v]
+        canvas.line(pu.x, pu.y, pv.x, pv.y, stroke=EDGE_COLOR)
+    for node, pos in udg.positions.items():
+        fill = MIS_COLOR if mis and node in mis else GRAY_COLOR
+        canvas.circle(pos.x, pos.y, NODE_RADIUS, fill=fill, stroke="#333")
+        canvas.text(pos.x, pos.y - 0.16, f"({levels[node]}, {node})", size=0.14)
+    return canvas

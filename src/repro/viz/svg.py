@@ -1,0 +1,145 @@
+"""Minimal SVG writer — no third-party dependencies.
+
+The figure renderer (:mod:`repro.viz.figures`) draws networks, WCDS
+colorings, spanners and routes; this module is the tiny drawing surface
+underneath it.  Elements are accumulated and serialized on demand; all
+coordinates are in user units and mapped through a viewBox.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def _fmt(value: float) -> str:
+    """Compact numeric formatting for attribute values."""
+    text = f"{value:.3f}"
+    return text.rstrip("0").rstrip(".") if "." in text else text
+
+
+class SvgCanvas:
+    """An append-only SVG document builder."""
+
+    def __init__(
+        self,
+        width: float,
+        height: float,
+        viewbox: Optional[Tuple[float, float, float, float]] = None,
+        background: Optional[str] = "white",
+    ) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.viewbox = viewbox if viewbox is not None else (0, 0, width, height)
+        self._elements: List[str] = []
+        if background:
+            vx, vy, vw, vh = self.viewbox
+            self._elements.append(
+                f'<rect x="{_fmt(vx)}" y="{_fmt(vy)}" width="{_fmt(vw)}" '
+                f'height="{_fmt(vh)}" fill="{background}"/>'
+            )
+
+    # ------------------------------------------------------------------
+    # Primitives
+    # ------------------------------------------------------------------
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        width: float = 0.02,
+        dashed: bool = False,
+        opacity: float = 1.0,
+    ) -> None:
+        """A straight line segment."""
+        dash = ' stroke-dasharray="0.06,0.05"' if dashed else ""
+        alpha = f' stroke-opacity="{_fmt(opacity)}"' if opacity < 1 else ""
+        self._elements.append(
+            f'<line x1="{_fmt(x1)}" y1="{_fmt(y1)}" x2="{_fmt(x2)}" '
+            f'y2="{_fmt(y2)}" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}"{dash}{alpha}/>'
+        )
+
+    def circle(
+        self,
+        cx: float,
+        cy: float,
+        r: float,
+        fill: str = "black",
+        stroke: Optional[str] = None,
+        stroke_width: float = 0.02,
+    ) -> None:
+        """A filled circle (a network node)."""
+        edge = (
+            f' stroke="{stroke}" stroke-width="{_fmt(stroke_width)}"'
+            if stroke
+            else ""
+        )
+        self._elements.append(
+            f'<circle cx="{_fmt(cx)}" cy="{_fmt(cy)}" r="{_fmt(r)}" '
+            f'fill="{fill}"{edge}/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size: float = 0.18,
+        fill: str = "black",
+        anchor: str = "middle",
+    ) -> None:
+        """A text label."""
+        escaped = (
+            str(content)
+            .replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        self._elements.append(
+            f'<text x="{_fmt(x)}" y="{_fmt(y)}" font-size="{_fmt(size)}" '
+            f'fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{escaped}</text>'
+        )
+
+    def polyline(
+        self,
+        points: Sequence[Tuple[float, float]],
+        stroke: str = "red",
+        width: float = 0.04,
+        opacity: float = 0.9,
+    ) -> None:
+        """An open polyline (a routed path)."""
+        coords = " ".join(f"{_fmt(x)},{_fmt(y)}" for x, y in points)
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{_fmt(width)}" stroke-opacity="{_fmt(opacity)}"/>'
+        )
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def to_string(self) -> str:
+        """Serialize the document."""
+        vx, vy, vw, vh = self.viewbox
+        header = (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{_fmt(self.width)}" height="{_fmt(self.height)}" '
+            f'viewBox="{_fmt(vx)} {_fmt(vy)} {_fmt(vw)} {_fmt(vh)}">'
+        )
+        return "\n".join([header, *self._elements, "</svg>"])
+
+    def save(self, path: str) -> None:
+        """Write the document to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_string())
+
+    @property
+    def num_elements(self) -> int:
+        """Number of drawn elements (background excluded)."""
+        return len(self._elements) - (
+            1 if self._elements and self._elements[0].startswith("<rect") else 0
+        )

@@ -1,0 +1,34 @@
+"""The paper's core contribution: two WCDS constructions and their
+proven bounds."""
+
+from repro.wcds.base import (
+    WCDSResult,
+    black_edges,
+    is_weakly_connected_dominating_set,
+    weakly_induced_subgraph,
+)
+from repro.wcds.algorithm1 import (
+    LevelCalculationNode,
+    algorithm1_centralized,
+    algorithm1_distributed,
+)
+from repro.wcds.algorithm2 import (
+    Algorithm2Node,
+    algorithm2_centralized,
+    algorithm2_distributed,
+)
+from repro.wcds import bounds
+
+__all__ = [
+    "WCDSResult",
+    "black_edges",
+    "is_weakly_connected_dominating_set",
+    "weakly_induced_subgraph",
+    "LevelCalculationNode",
+    "algorithm1_centralized",
+    "algorithm1_distributed",
+    "Algorithm2Node",
+    "algorithm2_centralized",
+    "algorithm2_distributed",
+    "bounds",
+]

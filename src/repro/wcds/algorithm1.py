@@ -1,0 +1,195 @@
+"""Algorithm I: WCDS via level-based-ranked MIS (Section 4.1).
+
+Three phases, exactly as the paper structures them:
+
+1. **Leader election** — elect the minimum-id node and build a spanning
+   tree rooted at it (``repro.election``); O(n log n) messages dominate
+   the algorithm's message complexity.
+2. **Level calculation** — the root announces level 0; every node, on
+   hearing its parent's level, takes level+1 and announces.  Nodes
+   record the levels of all neighbors (that is how the ``(level, id)``
+   ranks become locally known), and a COMPLETE echo climbs the tree so
+   the root knows when to start phase 3.  Exactly one LEVEL broadcast
+   per node plus one COMPLETE unicast per non-root node: O(n) messages.
+3. **Color marking** — the distributed greedy-MIS marking under the
+   ``(level, id)`` ranking (``repro.mis.distributed``): the root marks
+   itself black and broadcasts BLACK; whites go gray on the first BLACK
+   they hear; a white goes black once all lower-ranked neighbors
+   reported GRAY.  One declaration per node: O(n) messages.
+
+Theorem 5: the resulting MIS is a WCDS.  Lemma 7: its size is at most
+5·opt.  Theorem 8: its black edges form a sparse spanner.
+
+The centralized twin computes the same set directly (BFS levels from the
+minimum id node + rank-greedy MIS); under the synchronous latency model
+the distributed run provably produces the identical set, which the
+property tests check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import bfs_distances, is_connected
+from repro.mis.centralized import greedy_mis
+from repro.mis.distributed import MisNode
+from repro.mis.ranking import level_ranking
+from repro.election.protocol import ElectionResult, elect_leader
+from repro.sim.engine import Simulator
+from repro.sim.latency import LatencyModel
+from repro.sim.messages import Message
+from repro.sim.node import NodeContext, ProtocolNode
+from repro.sim.stats import SimStats
+from repro.wcds.base import WCDSResult
+
+LEVEL = "LEVEL"
+COMPLETE = "COMPLETE"
+
+
+def algorithm1_centralized(graph: Graph, root: Optional[Hashable] = None) -> WCDSResult:
+    """Centralized reference for Algorithm I.
+
+    ``root`` defaults to the minimum node id — the node the election
+    phase elects.  Levels are BFS hop distances from the root (the BFS
+    tree is the spanning tree the synchronous election builds).
+    """
+    if graph.num_nodes == 0:
+        raise ValueError("Algorithm I requires a non-empty graph")
+    if not is_connected(graph):
+        raise ValueError("Algorithm I requires a connected graph")
+    if root is None:
+        root = min(graph.nodes())
+    levels = bfs_distances(graph, root)
+    ranking = level_ranking(graph, levels)
+    mis = greedy_mis(graph, ranking)
+    return WCDSResult(
+        dominators=frozenset(mis),
+        mis_dominators=frozenset(mis),
+        meta={"leader": root, "levels": levels},
+    )
+
+
+class LevelCalculationNode(ProtocolNode):
+    """Phase 2 node: learn own level, record neighbor levels, echo
+    COMPLETE up the tree."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        parent: Optional[Hashable],
+        children: FrozenSet[Hashable],
+    ) -> None:
+        super().__init__(ctx)
+        self.parent = parent
+        self.children = set(children)
+        self.level: Optional[int] = None
+        self.neighbor_levels: Dict[Hashable, int] = {}
+        self._pending_complete: Set[Hashable] = set(children)
+        self.tree_complete = False
+
+    def on_start(self) -> None:
+        if self.parent is None:
+            self._announce(0)
+
+    def on_message(self, msg: Message) -> None:
+        if msg.kind == LEVEL:
+            self.neighbor_levels[msg.sender] = msg["level"]
+            if msg.sender == self.parent and self.level is None:
+                self._announce(msg["level"] + 1)
+        elif msg.kind == COMPLETE:
+            self._pending_complete.discard(msg.sender)
+            self._maybe_complete()
+
+    def _announce(self, level: int) -> None:
+        self.level = level
+        self.ctx.broadcast(LEVEL, level=level)
+        self._maybe_complete()
+
+    def _maybe_complete(self) -> None:
+        if self.level is None or self._pending_complete or self.tree_complete:
+            return
+        self.tree_complete = True
+        if self.parent is not None:
+            self.ctx.send(self.parent, COMPLETE)
+
+    def result(self) -> Dict[str, object]:
+        return {
+            "level": self.level,
+            "neighbor_levels": dict(self.neighbor_levels),
+            "complete": self.tree_complete,
+        }
+
+
+def _run_level_phase(
+    graph: Graph,
+    election: ElectionResult,
+    *,
+    latency: Optional[LatencyModel] = None,
+    seed: Optional[int] = None,
+) -> Tuple[Dict[Hashable, int], SimStats]:
+    """Run phase 2; returns ``(levels, stats)``."""
+    sim = Simulator(
+        graph,
+        lambda ctx: LevelCalculationNode(
+            ctx, election.parent[ctx.node_id], election.children[ctx.node_id]
+        ),
+        latency=latency,
+        seed=seed,
+    )
+    stats = sim.run()
+    results = sim.collect_results()
+    unleveled = [n for n, res in results.items() if res["level"] is None]
+    if unleveled:
+        raise RuntimeError(f"level calculation did not reach: {unleveled!r}")
+    if not results[election.leader]["complete"]:
+        raise RuntimeError("COMPLETE echo never reached the root")
+    return {n: res["level"] for n, res in results.items()}, stats
+
+
+def algorithm1_distributed(
+    graph: Graph,
+    *,
+    latency: Optional[LatencyModel] = None,
+    seed: Optional[int] = None,
+) -> WCDSResult:
+    """Run the full three-phase distributed Algorithm I.
+
+    Phases run back to back (each simulated to quiescence — in a real
+    network the COMPLETE echo provides the same barrier).  The result's
+    ``meta`` carries the leader, levels, and per-phase plus aggregate
+    message statistics for the complexity experiments.
+    """
+    election = elect_leader(graph, latency=latency, seed=seed)
+    levels, level_stats = _run_level_phase(
+        graph, election, latency=latency, seed=seed
+    )
+    ranking = level_ranking(graph, levels)
+    sim = Simulator(
+        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed
+    )
+    marking_stats = sim.run()
+    colors = {n: res["color"] for n, res in sim.collect_results().items()}
+    undecided = [n for n, color in colors.items() if color == "white"]
+    if undecided:
+        raise RuntimeError(f"color marking did not terminate: {undecided!r}")
+    mis = frozenset(n for n, color in colors.items() if color == "black")
+    phase_stats = {
+        "election": election.stats,
+        "levels": level_stats,
+        "marking": marking_stats,
+    }
+    total_messages = sum(stats.messages_sent for stats in phase_stats.values())
+    finish_time = sum(stats.finish_time for stats in phase_stats.values())
+    return WCDSResult(
+        dominators=mis,
+        mis_dominators=mis,
+        meta={
+            "leader": election.leader,
+            "levels": levels,
+            "colors": colors,
+            "phase_stats": phase_stats,
+            "total_messages": total_messages,
+            "finish_time": finish_time,
+        },
+    )

@@ -1,0 +1,102 @@
+"""Weakly-connected dominating sets: definitions and validation.
+
+A set ``S`` is a WCDS of ``G = (V, E)`` when ``S`` dominates ``G`` and
+the subgraph *weakly induced* by ``S`` — ``G' = (V, E')`` with ``E'``
+the edges having at least one endpoint in ``S`` (the paper's "black
+edges") — is connected.  ``G'`` is the candidate sparse spanner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.traversal import is_connected
+from repro.mis.properties import is_dominating_set
+
+
+def black_edges(graph: Graph, dominators: Iterable[Hashable]) -> List[Tuple[Hashable, Hashable]]:
+    """Edges of ``graph`` with at least one endpoint in ``dominators``."""
+    members = set(dominators)
+    return [(u, v) for u, v in graph.edges() if u in members or v in members]
+
+
+def weakly_induced_subgraph(graph: Graph, dominators: Iterable[Hashable]) -> Graph:
+    """The subgraph ``G' = (V, E')`` weakly induced by ``dominators``.
+
+    Keeps *all* nodes of ``graph`` — the spanner must span V — and only
+    the black edges.
+    """
+    members = set(dominators)
+    sub = Graph()
+    for node in graph.nodes():
+        sub.add_node(node)
+    for u, v in black_edges(graph, members):
+        sub.add_edge(u, v)
+    return sub
+
+
+def is_weakly_connected_dominating_set(
+    graph: Graph, dominators: Iterable[Hashable]
+) -> bool:
+    """Whether ``dominators`` is a WCDS of ``graph``.
+
+    On a connected graph this means: dominating, and the weakly induced
+    subgraph connects every node (gray nodes are attached by their
+    domination edges, so checking ``G'`` connected suffices).
+    """
+    members = set(dominators)
+    if not members:
+        return graph.num_nodes == 0
+    if not is_dominating_set(graph, members):
+        return False
+    return is_connected(weakly_induced_subgraph(graph, members))
+
+
+@dataclass(frozen=True)
+class WCDSResult:
+    """Outcome of a WCDS construction.
+
+    ``dominators`` is the whole WCDS U.  For Algorithm II it splits into
+    ``mis_dominators`` (the MIS S) and ``additional_dominators`` (the
+    set C of 3-hop connectors); for Algorithm I every dominator is an
+    MIS dominator and ``additional_dominators`` is empty.  ``meta``
+    carries algorithm-specific extras (levels, leader, dominator lists,
+    message stats) used by the experiments.
+    """
+
+    dominators: FrozenSet[Hashable]
+    mis_dominators: FrozenSet[Hashable]
+    additional_dominators: FrozenSet[Hashable] = frozenset()
+    meta: Dict[str, object] = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        expected = self.mis_dominators | self.additional_dominators
+        if self.dominators != expected:
+            raise ValueError(
+                "dominators must be the union of MIS and additional dominators"
+            )
+        if self.mis_dominators & self.additional_dominators:
+            raise ValueError("a node cannot be both MIS and additional dominator")
+
+    @property
+    def size(self) -> int:
+        """|U| — the paper's objective to minimize."""
+        return len(self.dominators)
+
+    def gray_nodes(self, graph: Graph) -> Set[Hashable]:
+        """Nodes of ``graph`` that are dominated but not dominators."""
+        return set(graph.nodes()) - set(self.dominators)
+
+    def spanner(self, graph: Graph) -> Graph:
+        """The weakly induced subgraph (black-edge spanner) on ``graph``."""
+        return weakly_induced_subgraph(graph, self.dominators)
+
+    def validate(self, graph: Graph) -> None:
+        """Raise ``AssertionError`` unless this is a valid WCDS of
+        ``graph``."""
+        if not is_dominating_set(graph, self.dominators):
+            raise AssertionError("result is not a dominating set")
+        if not is_connected(self.spanner(graph)):
+            raise AssertionError("weakly induced subgraph is not connected")

@@ -1,0 +1,78 @@
+"""The paper's proven bounds, as executable formulas.
+
+Benchmarks print these next to measured values; property tests assert
+the measurements never exceed them.  Constants garbled by OCR in the
+source text are re-derived in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.packing import (
+    mis_neighbors_bound,
+    mis_three_hop_bound,
+    mis_two_hop_bound,
+)
+
+#: Lemma 1 / Lemma 7: an MIS of a unit-disk graph has at most 5·opt
+#: nodes, where opt = |MWCDS| — hence Algorithm I's ratio.
+ALGORITHM1_RATIO = 5
+
+#: Theorem 10: |U| ≤ |S| + 47|S| = 48|S| ≤ 48·(5·opt) = 240·opt.
+ALGORITHM2_MIS_MULTIPLIER = 1 + mis_three_hop_bound()  # 48
+ALGORITHM2_RATIO = ALGORITHM2_MIS_MULTIPLIER * ALGORITHM1_RATIO  # 240
+
+#: Theorem 11: hop dilation h' ≤ 3·h + 2.
+TOPOLOGICAL_DILATION_FACTOR = 3
+TOPOLOGICAL_DILATION_OFFSET = 2
+
+#: Theorem 11 via Lemma 6 (α=3, β=2): l' ≤ 2α·l + α + β = 6·l + 5.
+GEOMETRIC_DILATION_FACTOR = 6
+GEOMETRIC_DILATION_OFFSET = 5
+
+
+def algorithm1_size_bound(opt: int) -> int:
+    """Lemma 7: Algorithm I's WCDS has at most ``5 * opt`` nodes."""
+    return ALGORITHM1_RATIO * opt
+
+
+def algorithm2_size_bound_from_mis(mis_size: int) -> int:
+    """Theorem 10's intermediate bound: |U| ≤ 48·|S|."""
+    return ALGORITHM2_MIS_MULTIPLIER * mis_size
+
+
+def algorithm2_size_bound(opt: int) -> int:
+    """Theorem 10: |U| ≤ 240·opt (loose; see DESIGN.md)."""
+    return ALGORITHM2_RATIO * opt
+
+
+def algorithm1_edge_bound(num_gray: int) -> int:
+    """Theorem 8: every black edge joins a gray node to a black node and
+    a gray node has ≤ 5 MIS neighbors, so |E'| ≤ 5·#gray."""
+    return mis_neighbors_bound() * num_gray
+
+
+def algorithm2_edge_bound(num_gray: int, mis_size: int) -> int:
+    """Theorem 10's edge count: ≤ 9·#gray + 47·|S|.
+
+    The three edge types: gray-S (≤5 per gray), S-C (≤47 per MIS node),
+    gray-C (≤4 per gray, since ≤23 MIS nodes within 2 hops of a gray
+    node... the paper charges 4 C-neighbors per gray node — we use the
+    paper's stated constants 9·gray + 47·|S|).
+    """
+    return 9 * num_gray + mis_three_hop_bound() * mis_size
+
+
+def topological_dilation_bound(hops_in_g: int) -> int:
+    """Theorem 11: minimum hops in the spanner ≤ 3·h + 2."""
+    return TOPOLOGICAL_DILATION_FACTOR * hops_in_g + TOPOLOGICAL_DILATION_OFFSET
+
+
+def geometric_dilation_bound(length_in_g: float) -> float:
+    """Theorem 11 + Lemma 6: spanner min-hop path length ≤ 6·l + 5."""
+    return GEOMETRIC_DILATION_FACTOR * length_in_g + GEOMETRIC_DILATION_OFFSET
+
+
+def lemma6_length_bound(alpha: float, beta: float, length_in_g: float) -> float:
+    """Lemma 6: if h' ≤ α·h + β for non-adjacent pairs, then
+    l' < 2α·l + α + β."""
+    return 2 * alpha * length_in_g + alpha + beta

@@ -1,0 +1,40 @@
+"""Shared pytest fixtures for the test suite (strategies and helper
+factories live in ``tutils.py``)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import Graph, connected_random_udg
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests that need ad hoc randomness."""
+    return random.Random(12345)
+
+
+@pytest.fixture
+def small_udg():
+    """A fixed small connected UDG used across modules."""
+    return connected_random_udg(25, 3.0, seed=42)
+
+
+@pytest.fixture
+def medium_udg():
+    """A fixed mid-size connected UDG."""
+    return connected_random_udg(80, 6.0, seed=7)
+
+
+@pytest.fixture
+def path_graph():
+    """P5 as a plain graph: 0-1-2-3-4."""
+    return Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+@pytest.fixture
+def star_graph():
+    """A star: center 0, leaves 1..5."""
+    return Graph(edges=[(0, leaf) for leaf in range(1, 6)])

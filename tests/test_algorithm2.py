@@ -1,0 +1,195 @@
+"""Tests for Algorithm II: localized WCDS with additional-dominators
+(Theorems 10, 11, 12)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (
+    Graph,
+    bfs_distances,
+    grid_udg,
+    hop_distance,
+    line_udg,
+)
+from repro.mis import greedy_mis, is_maximal_independent_set
+from repro.sim import UniformLatency
+from repro.spanner import classify_black_edges, measure_dilation
+from repro.wcds import (
+    algorithm2_centralized,
+    algorithm2_distributed,
+    bounds,
+    is_weakly_connected_dominating_set,
+)
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestCentralized:
+    @given(seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_is_wcds(self, seed):
+        g = dense_connected_udg(30, seed)
+        result = algorithm2_centralized(g)
+        assert is_weakly_connected_dominating_set(g, result.dominators)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_mis_part_is_id_greedy(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_centralized(g)
+        assert set(result.mis_dominators) == greedy_mis(g)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_every_3hop_pair_covered(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_centralized(g)
+        mis = sorted(result.mis_dominators)
+        covered = {(u, w) for u, w, _ in result.meta["pairs_covered"]}
+        for i, u in enumerate(mis):
+            dist = bfs_distances(g, u, cutoff=3)
+            for w in mis[i + 1 :]:
+                if dist.get(w) == 3:
+                    assert (u, w) in covered
+
+    def test_connectors_are_valid_intermediates(self, medium_udg):
+        result = algorithm2_centralized(medium_udg)
+        for u, w, v in result.meta["pairs_covered"]:
+            assert medium_udg.has_edge(u, v)
+            assert hop_distance(medium_udg, v, w) == 2
+
+    def test_single_node(self):
+        result = algorithm2_centralized(Graph(nodes=[0]))
+        assert result.dominators == frozenset({0})
+
+    def test_two_nodes(self):
+        result = algorithm2_centralized(Graph(edges=[(0, 1)]))
+        assert result.dominators == frozenset({0})
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            algorithm2_centralized(Graph(nodes=[0, 1]))
+
+
+class TestDistributed:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_is_wcds_and_mis_matches(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_distributed(g)
+        assert is_weakly_connected_dominating_set(g, result.dominators)
+        assert set(result.mis_dominators) == greedy_mis(g)
+        assert is_maximal_independent_set(g, set(result.mis_dominators))
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_async_is_still_wcds(self, seed):
+        g = dense_connected_udg(20, seed)
+        result = algorithm2_distributed(g, latency=UniformLatency(seed=seed))
+        assert is_weakly_connected_dominating_set(g, result.dominators)
+        assert set(result.mis_dominators) == greedy_mis(g)
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_additional_dominators_are_gray_neighbors_of_mis(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_distributed(g)
+        for v in result.additional_dominators:
+            assert v not in result.mis_dominators
+            assert g.adjacency(v) & set(result.mis_dominators)
+
+    def test_two_hop_lists_are_correct(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        mis = set(result.mis_dominators)
+        for node, state in result.meta["node_state"].items():
+            for dom, via in state["two_hop_dom"].items():
+                assert dom in mis
+                assert small_udg.has_edge(node, via)
+                assert small_udg.has_edge(via, dom)
+
+    def test_mis_dominator_two_hop_lists_complete(self, small_udg):
+        # Under the synchronous model every dominator learns every
+        # dominator exactly two hops away.
+        result = algorithm2_distributed(small_udg)
+        mis = set(result.mis_dominators)
+        for u in mis:
+            dist = bfs_distances(small_udg, u, cutoff=2)
+            expected = {w for w in mis if dist.get(w) == 2}
+            state = result.meta["node_state"][u]
+            assert set(state["two_hop_dom"]) == expected
+
+    def test_three_hop_coverage_via_lists(self, small_udg):
+        # Each 3-hop MIS pair appears in the lower endpoint's
+        # 3HopDomList (it selected a connector for it).
+        result = algorithm2_distributed(small_udg)
+        mis = sorted(result.mis_dominators)
+        states = result.meta["node_state"]
+        for i, u in enumerate(mis):
+            dist = bfs_distances(small_udg, u, cutoff=3)
+            for w in mis[i + 1 :]:
+                if dist.get(w) == 3:
+                    assert w in states[u]["three_hop_dom"]
+
+    def test_grid_and_chain(self):
+        for g in (grid_udg(5, 5), line_udg(12)):
+            result = algorithm2_distributed(g)
+            result.validate(g)
+
+
+class TestTheorem12Complexity:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_constant_messages_per_node(self, seed):
+        g = dense_connected_udg(40, seed)
+        result = algorithm2_distributed(g)
+        stats = result.meta["stats"]
+        # Every node sends O(1) messages; the constant is small in
+        # practice (declaration + 1-hop + 2-hop + a few selections).
+        assert stats.max_messages_per_node() <= 60
+        assert stats.messages_sent <= 60 * g.num_nodes
+
+    def test_chain_time_is_linear_not_worse(self):
+        n = 30
+        g = line_udg(n)
+        result = algorithm2_distributed(g)
+        stats = result.meta["stats"]
+        assert n - 2 <= stats.finish_time <= 4 * n
+
+
+class TestTheorem10Bounds:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_size_bound_from_mis(self, seed):
+        g = dense_connected_udg(30, seed)
+        result = algorithm2_distributed(g)
+        assert result.size <= bounds.algorithm2_size_bound_from_mis(
+            len(result.mis_dominators)
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_edge_bound(self, seed):
+        g = dense_connected_udg(40, seed)
+        result = algorithm2_distributed(g)
+        counts = classify_black_edges(g, result)
+        assert counts.total <= bounds.algorithm2_edge_bound(
+            len(result.gray_nodes(g)), len(result.mis_dominators)
+        )
+
+
+class TestTheorem11Dilation:
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_hop_and_length_bounds(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_distributed(g)
+        report = measure_dilation(g, result.spanner(g))
+        assert report.hop_bound_holds
+        assert report.geo_bound_holds
+
+    def test_bounds_hold_even_for_adjacent_pairs(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        report = measure_dilation(
+            small_udg, result.spanner(small_udg), include_adjacent=True
+        )
+        assert report.hop_bound_holds

@@ -1,0 +1,119 @@
+"""Tests for node on/off churn: UDG mutation and WCDS maintenance.
+
+The paper's maintenance scope is "whenever the nodes move around or
+are turned off or on"; these tests cover the on/off half.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Point
+from repro.graphs import build_udg, connected_random_udg, is_connected
+from repro.mis import is_dominating_set, is_independent_set
+from repro.mobility import MaintainedWCDS
+
+from tutils import seeds
+
+
+class TestUdgChurn:
+    def test_add_node_at_wires_edges(self):
+        g = build_udg([(0, 0), (2, 0)])
+        neighbors = g.add_node_at(9, Point(0.5, 0))
+        assert neighbors == {0}
+        assert g.has_edge(9, 0)
+        assert not g.has_edge(9, 1)
+
+    def test_add_duplicate_rejected(self):
+        g = build_udg([(0, 0)])
+        with pytest.raises(ValueError):
+            g.add_node_at(0, Point(1, 1))
+
+    def test_remove_node_drops_position(self):
+        g = build_udg([(0, 0), (0.5, 0)])
+        g.remove_node(1)
+        assert 1 not in g
+        assert 1 not in g.positions
+        assert g.degree(0) == 0
+
+    def test_add_then_remove_round_trip(self):
+        g = build_udg([(0, 0), (0.9, 0)])
+        before_edges = g.num_edges
+        g.add_node_at(7, Point(0.45, 0.1))
+        assert g.degree(7) == 2
+        g.remove_node(7)
+        assert g.num_edges == before_edges
+
+
+class TestMaintenanceChurn:
+    def test_turning_off_a_gray_node_is_cheap(self):
+        g = connected_random_udg(30, 4.0, seed=1)
+        maintained = MaintainedWCDS(g)
+        gray = sorted(set(g.nodes()) - maintained.mis - maintained.additional)[0]
+        maintained.node_off(gray)
+        assert maintained.is_valid()
+
+    def test_turning_off_a_dominator_repairs_coverage(self):
+        g = connected_random_udg(30, 4.0, seed=2)
+        maintained = MaintainedWCDS(g)
+        dominator = sorted(maintained.mis)[0]
+        report = maintained.node_off(dominator)
+        assert dominator in report.demoted_mis
+        assert dominator not in maintained.mis
+        assert maintained.is_valid()
+
+    def test_turning_off_a_connector_reselects(self):
+        g = connected_random_udg(40, 4.5, seed=3)
+        maintained = MaintainedWCDS(g)
+        if not maintained.additional:
+            pytest.skip("no connectors on this instance")
+        connector = sorted(maintained.additional)[0]
+        maintained.node_off(connector)
+        assert connector not in maintained.additional
+        assert maintained.is_valid()
+
+    def test_turning_on_a_covered_node_changes_little(self):
+        g = connected_random_udg(25, 3.5, seed=4)
+        maintained = MaintainedWCDS(g)
+        dominator = sorted(maintained.mis)[0]
+        pos = g.positions[dominator]
+        report = maintained.node_on(999, Point(pos.x + 0.1, pos.y))
+        assert 999 not in maintained.mis  # it hears a dominator: gray
+        assert maintained.is_valid()
+
+    def test_turning_on_an_isolated_node_self_dominates(self):
+        g = connected_random_udg(10, 2.5, seed=5)
+        maintained = MaintainedWCDS(g)
+        report = maintained.node_on(999, Point(100.0, 100.0))
+        assert 999 in maintained.mis
+        assert 999 in report.promoted_mis
+        assert is_dominating_set(g, maintained.mis | maintained.additional)
+
+    def test_unknown_node_off_raises(self):
+        g = connected_random_udg(10, 2.5, seed=6)
+        maintained = MaintainedWCDS(g)
+        with pytest.raises(KeyError):
+            maintained.node_off(424242)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_random_churn_storm_stays_valid(self, seed):
+        rng = random.Random(seed)
+        g = connected_random_udg(30, 4.0, seed=seed)
+        maintained = MaintainedWCDS(g)
+        next_id = 1000
+        alive = set(g.nodes())
+        for _ in range(15):
+            if rng.random() < 0.5 and len(alive) > 5:
+                victim = rng.choice(sorted(alive))
+                maintained.node_off(victim)
+                alive.discard(victim)
+            else:
+                pos = Point(rng.uniform(0, 4.0), rng.uniform(0, 4.0))
+                maintained.node_on(next_id, pos)
+                alive.add(next_id)
+                next_id += 1
+            assert is_independent_set(g, maintained.mis)
+            assert is_dominating_set(g, maintained.mis | maintained.additional)
+            assert maintained.is_valid()

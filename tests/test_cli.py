@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["topology"])
+        assert args.nodes == 150 and args.side == 8.0 and args.seed == 7
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["wcds", "--algorithm", "3"])
+
+
+class TestCommands:
+    def _run(self, argv, capsys):
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_topology(self, capsys):
+        code, out = self._run(["topology", "--nodes", "30", "--side", "4"], capsys)
+        assert code == 0
+        assert "Topology" in out and "30" in out
+
+    def test_topology_positions(self, capsys):
+        code, out = self._run(
+            ["topology", "--nodes", "10", "--side", "3", "--positions"], capsys
+        )
+        assert code == 0
+        # 10 position lines, tab separated.
+        assert sum(1 for line in out.splitlines() if "\t" in line) == 10
+
+    @pytest.mark.parametrize("algorithm", ["1", "2"])
+    def test_wcds(self, capsys, algorithm):
+        code, out = self._run(
+            ["wcds", "--nodes", "40", "--side", "4.5", "--algorithm", algorithm],
+            capsys,
+        )
+        assert code == 0
+        assert f"Algorithm {algorithm}" in out
+
+    def test_wcds_list(self, capsys):
+        code, out = self._run(
+            ["wcds", "--nodes", "30", "--side", "4", "--list"], capsys
+        )
+        assert code == 0
+        assert "dominators:" in out
+
+    def test_route(self, capsys):
+        code, out = self._run(
+            ["route", "--nodes", "40", "--side", "4.5", "--src", "0", "--dst", "39"],
+            capsys,
+        )
+        assert code == 0
+        assert "route (" in out
+
+    def test_route_bad_node(self, capsys):
+        code = main(
+            ["route", "--nodes", "10", "--side", "3", "--src", "0", "--dst", "999"]
+        )
+        assert code == 2
+
+    def test_broadcast(self, capsys):
+        code, out = self._run(["broadcast", "--nodes", "50", "--side", "5"], capsys)
+        assert code == 0
+        assert "blind flooding" in out and "WCDS backbone" in out
+
+    def test_compare(self, capsys):
+        code, out = self._run(["compare", "--nodes", "30", "--side", "4"], capsys)
+        assert code == 0
+        for name in ("Algorithm I", "Algorithm II", "Wu-Li"):
+            assert name in out
+
+    def test_experiment_list(self, capsys):
+        code, out = self._run(["experiment", "--list"], capsys)
+        assert code == 0
+        for experiment_id in ("F3", "T11", "M1"):
+            assert experiment_id in out
+
+    def test_experiment_run(self, capsys):
+        code, out = self._run(["experiment", "F2a"], capsys)
+        assert code == 0
+        assert "claim verified" in out
+
+    def test_experiment_unknown_id(self, capsys):
+        assert main(["experiment", "ZZZ"]) == 2
+
+    def test_figures(self, capsys, tmp_path):
+        outdir = str(tmp_path / "figs")
+        code, out = self._run(
+            ["figures", "--nodes", "20", "--side", "3.5", "--outdir", outdir], capsys
+        )
+        assert code == 0
+        import os
+
+        assert sorted(os.listdir(outdir)) == [
+            "figure2.svg",
+            "udg.svg",
+            "wcds_spanner.svg",
+        ]

@@ -1,0 +1,102 @@
+"""Tests for leader election and spanning-tree construction."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.election import elect_leader
+from repro.graphs import Graph, bfs_distances
+from repro.sim import UniformLatency
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestLeaderChoice:
+    def test_minimum_id_wins(self, small_udg):
+        result = elect_leader(small_udg)
+        assert result.leader == min(small_udg.nodes())
+
+    def test_single_node(self):
+        result = elect_leader(Graph(nodes=[7]))
+        assert result.leader == 7
+        assert result.parent[7] is None
+        assert result.levels() == {7: 0}
+
+    def test_requires_connected(self):
+        with pytest.raises(ValueError):
+            elect_leader(Graph(nodes=[1, 2]))
+
+    def test_requires_non_empty(self):
+        with pytest.raises(ValueError):
+            elect_leader(Graph())
+
+
+class TestSpanningTree:
+    def test_tree_edges_exist_and_children_match(self, small_udg):
+        result = elect_leader(small_udg)
+        for node, parent in result.parent.items():
+            if parent is None:
+                assert node == result.leader
+            else:
+                assert small_udg.has_edge(node, parent)
+                assert node in result.children[parent]
+
+    def test_tree_spans_all_nodes(self, small_udg):
+        result = elect_leader(small_udg)
+        assert set(result.parent) == set(small_udg.nodes())
+
+    def test_children_counts_sum_to_n_minus_1(self, small_udg):
+        result = elect_leader(small_udg)
+        assert sum(len(c) for c in result.children.values()) == (
+            small_udg.num_nodes - 1
+        )
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_synchronous_tree_is_bfs(self, seed):
+        g = dense_connected_udg(30, seed)
+        result = elect_leader(g)
+        expected = bfs_distances(g, result.leader)
+        assert result.levels() == expected
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_async_tree_is_still_a_spanning_tree(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = elect_leader(g, latency=UniformLatency(seed=seed))
+        # Parent levels increase by one along tree edges by definition
+        # of levels(); every node is reached.
+        levels = result.levels()
+        assert set(levels) == set(g.nodes())
+        for node, parent in result.parent.items():
+            if parent is not None:
+                assert levels[node] == levels[parent] + 1
+
+
+class TestMessageComplexity:
+    def test_each_node_sends_at_least_one(self, small_udg):
+        result = elect_leader(small_udg)
+        assert result.stats.messages_sent >= small_udg.num_nodes
+
+    def test_randomly_placed_ids_are_cheap(self):
+        # Random id placement along a chain: a node improves its best
+        # known leader once per prefix minimum of the ids arriving from
+        # one side -> expected O(log n) improvements per node.
+        import math
+        import random
+
+        n = 60
+        order = list(range(n))
+        random.Random(5).shuffle(order)
+        g = Graph(edges=[(order[i], order[i + 1]) for i in range(n - 1)])
+        result = elect_leader(g)
+        elects = result.stats.by_kind["ELECT"]
+        assert elects <= 4 * n * math.log(n)
+
+    def test_sorted_ids_on_a_chain_are_quadratic(self):
+        # Ids increasing along a chain: node i hears i-1, i-2, ..., 0 in
+        # that order and improves every time -> Theta(n^2) ELECTs, the
+        # known extinction-election worst case.
+        n = 30
+        g = Graph(edges=[(i, i + 1) for i in range(n - 1)])
+        result = elect_leader(g)
+        assert result.stats.by_kind["ELECT"] > n * n / 4

@@ -1,0 +1,60 @@
+"""Tests for the experiment registry and the fast experiments.
+
+The heavyweight sweeps are exercised by ``pytest benchmarks/``; here we
+verify the registry wiring and execute the quick experiments end to
+end (run + claim check).
+"""
+
+import pytest
+
+import repro.experiments as experiments
+from repro.experiments.base import Experiment
+
+EXPECTED_IDS = {
+    "F1a", "F1b", "F2a", "F2b", "F3", "F4", "F5", "F6",
+    "T5", "L7", "T8", "T10", "T11", "T12a", "T12b", "T12c",
+    "C1", "C1b", "R1", "B1", "M1", "M2", "M3", "M4", "A1", "S1",
+}
+
+
+class TestRegistry:
+    def test_all_expected_ids_registered(self):
+        assert set(experiments.REGISTRY) == EXPECTED_IDS
+
+    def test_every_experiment_is_complete(self):
+        for exp in experiments.all_experiments():
+            assert isinstance(exp, Experiment)
+            assert exp.title and exp.claim
+            assert callable(exp.run) and callable(exp.check)
+
+    def test_all_experiments_sorted(self):
+        ids = [exp.experiment_id for exp in experiments.all_experiments()]
+        assert ids == sorted(ids)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            experiments.get("NOPE")
+
+    def test_checkers_are_attached_not_noops(self):
+        # A deliberately wrong row set must fail at least the F3 check.
+        exp = experiments.get("F3")
+        with pytest.raises(AssertionError):
+            exp.check([{"max_mis_neighbors": 7, "bound": 5}])
+
+
+class TestFastExperiments:
+    """Execute the cheap experiments completely (run + check)."""
+
+    @pytest.mark.parametrize("experiment_id", ["F1a", "F1b", "F2a", "T12c"])
+    def test_execute(self, experiment_id):
+        exp = experiments.get(experiment_id)
+        rows = exp.execute()
+        assert rows
+
+    def test_f2a_rows_shape(self):
+        rows = experiments.get("F2a").run()
+        assert rows[0]["nodes"] == 8
+
+    def test_t12c_chain_rows(self):
+        rows = experiments.get("T12c").run()
+        assert [row["chain_n"] for row in rows] == [20, 40, 80]

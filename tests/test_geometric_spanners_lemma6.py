@@ -1,0 +1,99 @@
+"""Tests for RNG/Gabriel baselines and the Lemma 6 verifier."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.geometric_spanners import (
+    gabriel_graph,
+    relative_neighborhood_graph,
+)
+from repro.graphs import build_udg, is_connected
+from repro.spanner.lemma6 import Lemma6Report, fit_hop_bound, verify_lemma6
+from repro.wcds import algorithm1_centralized, algorithm2_centralized
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestGeometricSpanners:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_rng_subset_of_gabriel_subset_of_udg(self, seed):
+        g = dense_connected_udg(35, seed)
+        rng_edges = {frozenset(e) for e in relative_neighborhood_graph(g).edges()}
+        gg_edges = {frozenset(e) for e in gabriel_graph(g).edges()}
+        udg_edges = {frozenset(e) for e in g.edges()}
+        assert rng_edges <= gg_edges <= udg_edges
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_both_preserve_connectivity(self, seed):
+        g = dense_connected_udg(35, seed)
+        assert is_connected(relative_neighborhood_graph(g))
+        assert is_connected(gabriel_graph(g))
+
+    def test_rng_removes_long_triangle_edge(self):
+        # Near-equilateral triangle with uv the strictly longest edge
+        # and w closer to both endpoints: uv leaves the RNG.
+        g = build_udg({0: (0, 0), 1: (0.9, 0), 2: (0.45, 0.5)})
+        rng = relative_neighborhood_graph(g)
+        assert not rng.has_edge(0, 1)
+        assert rng.has_edge(0, 2) and rng.has_edge(1, 2)
+
+    def test_gabriel_keeps_edge_with_witness_outside_diameter_disk(self):
+        # w outside the disk with diameter uv: GG keeps uv, RNG drops
+        # it when w is still closer to both endpoints.
+        g = build_udg({0: (0, 0), 1: (1.0, 0), 2: (0.5, 0.55)})
+        gg = gabriel_graph(g)
+        assert gg.has_edge(0, 1)  # 0.5^2+... witness distance^2 sums > 1
+
+    def test_spanners_keep_all_nodes(self):
+        g = build_udg({0: (0, 0), 1: (5, 5)})  # disconnected pair
+        rng = relative_neighborhood_graph(g)
+        assert set(rng.nodes()) == {0, 1}
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_rng_is_sparse(self, seed):
+        g = dense_connected_udg(50, seed)
+        rng = relative_neighborhood_graph(g)
+        # RNG on points in general position has < 3n edges (planar).
+        assert rng.num_edges < 3 * g.num_nodes
+
+
+class TestLemma6:
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_algorithm2_spanner_respects_lemma(self, seed):
+        g = dense_connected_udg(25, seed)
+        spanner = algorithm2_centralized(g).spanner(g)
+        report = verify_lemma6(g, spanner, alpha=3, beta=2)
+        assert report.hypothesis_holds  # Theorem 11
+        assert report.conclusion_holds  # Lemma 6's consequence
+        assert report.lemma_respected
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_fitted_alpha_makes_hypothesis_tightly_true(self, seed):
+        g = dense_connected_udg(25, seed)
+        spanner = algorithm1_centralized(g).spanner(g)
+        alpha = fit_hop_bound(g, spanner, beta=2)
+        report = verify_lemma6(g, spanner, alpha, beta=2)
+        assert report.hypothesis_holds
+        assert report.conclusion_holds
+        if alpha > 0:
+            # Any smaller alpha breaks the hypothesis: the fit is tight.
+            tighter = verify_lemma6(g, spanner, alpha - 0.05, beta=2)
+            assert not tighter.hypothesis_holds
+
+    def test_implication_is_vacuous_when_hypothesis_fails(self):
+        g = dense_connected_udg(20, 3)
+        spanner = algorithm1_centralized(g).spanner(g)
+        report = verify_lemma6(g, spanner, alpha=0.0, beta=0.0)
+        assert not report.hypothesis_holds
+        assert report.lemma_respected  # implication holds vacuously
+
+    def test_no_pairs_edge_case(self):
+        g = build_udg({0: (0, 0), 1: (0.5, 0)})
+        report = verify_lemma6(g, g, alpha=1, beta=0)
+        assert report.pairs == 0
+        assert report.hypothesis_holds and report.conclusion_holds

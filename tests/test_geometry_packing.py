@@ -1,0 +1,90 @@
+"""Tests for the disk-packing bounds behind Lemmas 1 and 2."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry import (
+    annulus_packing_bound,
+    disk_packing_bound,
+    max_independent_points_in_annulus,
+    mis_neighbors_bound,
+    mis_three_hop_bound,
+    mis_two_hop_bound,
+)
+from repro.geometry.point import Point, distance
+
+
+class TestBoundValues:
+    def test_lemma1_constant(self):
+        assert mis_neighbors_bound() == 5
+
+    def test_lemma2_two_hop_constant(self):
+        # (2.5^2 - 0.5^2) / 0.5^2 = 24, strict inequality -> 23.
+        assert mis_two_hop_bound() == 23
+
+    def test_lemma2_three_hop_constant(self):
+        # (3.5^2 - 0.5^2) / 0.5^2 = 48, strict inequality -> 47.
+        assert mis_three_hop_bound() == 47
+
+    def test_unit_disk_packing(self):
+        # Unit-separated points in a unit disk: (1.5/0.5)^2 = 9 strict -> 8,
+        # a (loose) area bound; the true geometric max is 5 (Lemma 1).
+        assert disk_packing_bound(1.0) == 8
+
+    def test_strict_floor_on_exact_values(self):
+        # Bound expressions hitting an integer exactly must round DOWN
+        # past it (the area inequality is strict).
+        assert annulus_packing_bound(1.0, 2.0) == 23
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            disk_packing_bound(-1.0)
+        with pytest.raises(ValueError):
+            annulus_packing_bound(2.0, 1.0)
+        with pytest.raises(ValueError):
+            annulus_packing_bound(-0.5, 1.0)
+
+    def test_wrapper_matches_annulus(self):
+        assert max_independent_points_in_annulus(1.0, 3.0) == 47
+
+
+class TestBoundsAreSound:
+    """Randomized packing attempts never exceed the bounds."""
+
+    def _greedy_pack(self, rng, inner, outer, attempts=4000):
+        chosen = []
+        for _ in range(attempts):
+            radius = math.sqrt(rng.uniform(inner**2, outer**2))
+            angle = rng.uniform(0, 2 * math.pi)
+            candidate = Point(radius * math.cos(angle), radius * math.sin(angle))
+            if all(distance(candidate, p) > 1.0 for p in chosen):
+                chosen.append(candidate)
+        return chosen
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_two_hop_annulus_packing(self, seed):
+        rng = random.Random(seed)
+        packed = self._greedy_pack(rng, 1.0, 2.0)
+        assert len(packed) <= mis_two_hop_bound()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_three_hop_annulus_packing(self, seed):
+        rng = random.Random(seed)
+        packed = self._greedy_pack(rng, 1.0, 3.0)
+        assert len(packed) <= mis_three_hop_bound()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_unit_disk_neighbors_packing(self, seed):
+        # Points within distance 1 of the origin, pairwise > 1 apart:
+        # geometrically at most 5 (Lemma 1's hexagonal argument).
+        rng = random.Random(seed)
+        chosen = []
+        for _ in range(4000):
+            radius = math.sqrt(rng.random())
+            angle = rng.uniform(0, 2 * math.pi)
+            candidate = Point(radius * math.cos(angle), radius * math.sin(angle))
+            if all(distance(candidate, p) > 1.0 for p in chosen):
+                chosen.append(candidate)
+        assert len(chosen) <= mis_neighbors_bound()

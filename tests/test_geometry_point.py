@@ -1,0 +1,88 @@
+"""Unit tests for geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, distance, distance_squared, midpoint, path_length
+
+finite = st.floats(
+    min_value=-100, max_value=100, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_unpacking(self):
+        x, y = Point(1.5, -2.0)
+        assert (x, y) == (1.5, -2.0)
+
+    def test_equality_and_hash(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert hash(Point(1, 2)) == hash(Point(1, 2))
+        assert Point(1, 2) != Point(2, 1)
+
+    def test_usable_as_dict_key(self):
+        table = {Point(0, 0): "origin"}
+        assert table[Point(0, 0)] == "origin"
+
+    def test_vector_arithmetic(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_distance_to(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == pytest.approx(5.0)
+
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_ordering_is_lexicographic(self):
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 1)
+
+
+class TestDistanceFunctions:
+    def test_distance_matches_hypot(self):
+        assert distance((0, 0), (1, 1)) == pytest.approx(math.sqrt(2))
+
+    def test_distance_accepts_points_and_tuples(self):
+        assert distance(Point(0, 0), (3, 4)) == pytest.approx(5.0)
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, ax, ay, bx, by):
+        assert distance((ax, ay), (bx, by)) == pytest.approx(
+            distance((bx, by), (ax, ay))
+        )
+
+    @given(finite, finite, finite, finite)
+    def test_distance_squared_consistent(self, ax, ay, bx, by):
+        d = distance((ax, ay), (bx, by))
+        assert distance_squared((ax, ay), (bx, by)) == pytest.approx(d * d)
+
+    @given(finite, finite)
+    def test_distance_to_self_is_zero(self, x, y):
+        assert distance((x, y), (x, y)) == 0.0
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == Point(1, 2)
+
+
+class TestPathLength:
+    def test_empty_and_single(self):
+        assert path_length([]) == 0.0
+        assert path_length([Point(1, 1)]) == 0.0
+
+    def test_polyline(self):
+        pts = [Point(0, 0), Point(3, 4), Point(3, 0)]
+        assert path_length(pts) == pytest.approx(5.0 + 4.0)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=2, max_size=10))
+    def test_at_least_endpoint_distance(self, pts):
+        # Triangle inequality: a polyline is no shorter than the chord.
+        assert path_length(pts) >= distance(pts[0], pts[-1]) - 1e-9

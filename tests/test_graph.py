@@ -1,0 +1,160 @@
+"""Unit tests for the core Graph type."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import Graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1]),
+    max_size=40,
+)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert list(g.edges()) == []
+
+    def test_from_nodes_and_edges(self):
+        g = Graph(nodes=[1, 2, 3], edges=[(1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 1
+        assert g.has_edge(2, 1)
+
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_duplicate_edges_ignored(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        assert 1 in g  # endpoints survive
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(nodes=[1, 2])
+        with pytest.raises(KeyError):
+            g.remove_edge(1, 2)
+
+    def test_remove_node_cleans_adjacency(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.degree(1) == 0
+        assert g.degree(3) == 0
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_node(9)
+
+
+class TestQueries:
+    def test_neighbors_is_readonly_snapshot(self):
+        g = Graph(edges=[(1, 2)])
+        nbrs = g.neighbors(1)
+        assert nbrs == frozenset({2})
+        with pytest.raises(AttributeError):
+            nbrs.add(3)  # frozenset has no add
+
+    def test_degree_and_max_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+        assert g.max_degree() == 3
+        assert Graph().max_degree() == 0
+
+    def test_closed_neighborhood(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        assert g.closed_neighborhood(0) == {0, 1, 2}
+
+    def test_edges_yields_each_once(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0)])
+        seen = {frozenset(e) for e in g.edges()}
+        assert seen == {frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})}
+        assert len(list(g.edges())) == 3
+
+    def test_len_and_iter(self):
+        g = Graph(nodes=range(4))
+        assert len(g) == 4
+        assert set(g) == {0, 1, 2, 3}
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        clone = g.copy()
+        clone.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert clone.has_edge(1, 2)
+
+    def test_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph({1, 2, 3})
+        assert sub.num_nodes == 3
+        assert sub.has_edge(1, 2) and sub.has_edge(2, 3)
+        assert not sub.has_edge(0, 1)
+
+    def test_subgraph_missing_node_raises(self):
+        g = Graph(nodes=[0])
+        with pytest.raises(KeyError):
+            g.subgraph({0, 99})
+
+    def test_edge_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        sub = g.edge_subgraph([(1, 2)])
+        assert sub.num_nodes == 2
+        assert sub.has_edge(1, 2)
+
+    def test_edge_subgraph_missing_edge_raises(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(KeyError):
+            g.edge_subgraph([(0, 2)])
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.add_node(42)
+        back = Graph.from_networkx(g.to_networkx())
+        assert set(back.nodes()) == set(g.nodes())
+        assert {frozenset(e) for e in back.edges()} == {
+            frozenset(e) for e in g.edges()
+        }
+
+    @given(edge_lists)
+    def test_edge_count_matches_networkx(self, edges):
+        g = Graph(edges=edges)
+        nx_graph = g.to_networkx()
+        assert g.num_edges == nx_graph.number_of_edges()
+        assert g.num_nodes == nx_graph.number_of_nodes()
+
+
+class TestHypothesisInvariants:
+    @given(edge_lists)
+    def test_degree_sum_is_twice_edges(self, edges):
+        g = Graph(edges=edges)
+        assert sum(g.degree(n) for n in g.nodes()) == 2 * g.num_edges
+
+    @given(edge_lists)
+    def test_adjacency_is_symmetric(self, edges):
+        g = Graph(edges=edges)
+        for u in g.nodes():
+            for v in g.adjacency(u):
+                assert u in g.adjacency(v)

@@ -1,0 +1,92 @@
+"""Tests for graph metrics and Euclidean-weighted shortest paths."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import Graph, build_udg, edges_per_node, graph_stats, uniform_random_udg
+from repro.graphs.weighted import (
+    euclidean_shortest_path_length,
+    euclidean_shortest_path_lengths,
+)
+
+from tutils import seeds
+
+
+class TestGraphStats:
+    def test_basic_stats(self, path_graph):
+        stats = graph_stats(path_graph)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 4
+        assert stats.min_degree == 1
+        assert stats.max_degree == 2
+        assert stats.average_degree == pytest.approx(1.6)
+        assert stats.connected
+        assert stats.num_components == 1
+
+    def test_empty_graph(self):
+        stats = graph_stats(Graph())
+        assert stats.num_nodes == 0
+        assert stats.average_degree == 0.0
+        assert stats.connected
+
+    def test_as_row_keys(self, star_graph):
+        row = graph_stats(star_graph).as_row()
+        assert row["n"] == 6 and row["m"] == 5
+
+    def test_edges_per_node(self, star_graph):
+        assert edges_per_node(star_graph) == pytest.approx(5 / 6)
+        assert edges_per_node(Graph()) == 0.0
+
+
+class TestEuclideanShortestPaths:
+    def test_straight_line(self):
+        g = build_udg([(0, 0), (0.8, 0), (1.6, 0)])
+        lengths = euclidean_shortest_path_lengths(g, 0)
+        assert lengths[2] == pytest.approx(1.6)
+
+    def test_detour_is_longer_than_chord(self):
+        # 0 and 2 are 1.4 apart (non-adjacent); path through 1 above.
+        g = build_udg([(0, 0), (0.7, 0.7), (1.4, 0)])
+        assert euclidean_shortest_path_length(g, 0, 2) == pytest.approx(
+            2 * (0.7**2 + 0.7**2) ** 0.5
+        )
+
+    def test_same_node(self):
+        g = build_udg([(0, 0)])
+        assert euclidean_shortest_path_length(g, 0, 0) == 0.0
+
+    def test_disconnected(self):
+        g = build_udg([(0, 0), (5, 5)])
+        assert euclidean_shortest_path_length(g, 0, 1) is None
+
+    def test_picks_shorter_of_two_routes(self):
+        # Route via node 1 is shorter than via node 2.
+        g = build_udg([(0, 0), (0.75, 0.05), (0.75, 0.65), (1.5, 0)])
+        expected = (
+            g.euclidean_distance(0, 1) + g.euclidean_distance(1, 3)
+        )
+        assert euclidean_shortest_path_length(g, 0, 3) == pytest.approx(expected)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_matches_networkx_dijkstra(self, seed):
+        g = uniform_random_udg(25, 3.0, seed=seed)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(g.nodes())
+        for u, v in g.edges():
+            nx_graph.add_edge(u, v, weight=g.euclidean_distance(u, v))
+        source = 0
+        expected = nx.single_source_dijkstra_path_length(nx_graph, source)
+        actual = euclidean_shortest_path_lengths(g, source)
+        assert set(actual) == set(expected)
+        for node, value in expected.items():
+            assert actual[node] == pytest.approx(value)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_lower_bounded_by_euclidean_distance(self, seed):
+        g = uniform_random_udg(20, 3.0, seed=seed)
+        lengths = euclidean_shortest_path_lengths(g, 0)
+        for node, value in lengths.items():
+            assert value >= g.euclidean_distance(0, node) - 1e-9

@@ -1,0 +1,135 @@
+"""Tests for MIS rankings and the centralized constructions."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import Graph, grid_udg
+from repro.mis import (
+    degree_ranking,
+    greedy_mis,
+    greedy_mis_dynamic_degree,
+    id_ranking,
+    is_maximal_independent_set,
+    level_ranking,
+    mis_coloring,
+    validate_ranking,
+)
+
+from tutils import dense_connected_udg, seeds, small_sizes
+
+
+class TestRankings:
+    def test_id_ranking_orders_by_id(self):
+        g = Graph(nodes=[3, 1, 2])
+        ranks = id_ranking(g)
+        assert ranks[1] < ranks[2] < ranks[3]
+
+    def test_level_ranking_is_lexicographic(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        ranks = level_ranking(g, {0: 0, 1: 1, 2: 2})
+        assert ranks[0] < ranks[1] < ranks[2]
+        # Same level: id breaks the tie.
+        g2 = Graph(edges=[(0, 1), (0, 2)])
+        ranks2 = level_ranking(g2, {0: 0, 1: 1, 2: 1})
+        assert ranks2[1] < ranks2[2]
+
+    def test_level_ranking_missing_level(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(ValueError):
+            level_ranking(g, {0: 0})
+
+    def test_degree_ranking_puts_hubs_first(self, star_graph):
+        ranks = degree_ranking(star_graph)
+        assert ranks[0] == min(ranks.values())
+
+    def test_validate_rejects_partial(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(ValueError):
+            validate_ranking(g, {0: (0,)})
+
+    def test_validate_rejects_duplicates(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(ValueError):
+            validate_ranking(g, {0: (7,), 1: (7,)})
+
+
+class TestGreedyMis:
+    def test_star_low_center(self, star_graph):
+        # Center 0 has the lowest id: it is picked, leaves all gray.
+        assert greedy_mis(star_graph) == {0}
+
+    def test_star_high_center(self):
+        g = Graph(edges=[(9, leaf) for leaf in range(5)])
+        # Leaves all have lower ids and are pairwise non-adjacent.
+        assert greedy_mis(g) == {0, 1, 2, 3, 4}
+
+    def test_path_by_id(self, path_graph):
+        assert greedy_mis(path_graph) == {0, 2, 4}
+
+    def test_respects_custom_ranking(self, path_graph):
+        ranks = {0: (4,), 1: (0,), 2: (3,), 3: (1,), 4: (2,)}
+        assert greedy_mis(path_graph, ranks) == {1, 3}
+
+    def test_empty_graph(self):
+        assert greedy_mis(Graph()) == set()
+
+    def test_isolated_nodes_all_selected(self):
+        g = Graph(nodes=[5, 6, 7])
+        assert greedy_mis(g) == {5, 6, 7}
+
+    @given(seeds, small_sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_result_is_maximal_independent(self, seed, size):
+        g = dense_connected_udg(max(size, 2), seed)
+        mis = greedy_mis(g)
+        assert is_maximal_independent_set(g, mis)
+
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic(self, seed):
+        g = dense_connected_udg(20, seed)
+        assert greedy_mis(g) == greedy_mis(g)
+
+
+class TestDynamicDegreeMis:
+    def test_star_center_first(self):
+        # Center 9 has max white degree even though its id is largest.
+        g = Graph(edges=[(9, leaf) for leaf in range(5)])
+        assert greedy_mis_dynamic_degree(g) == {9}
+
+    def test_path(self, path_graph):
+        # White degrees: 1,2,2,2,1 -> node 1 (lowest id among degree-2)
+        # first, then 3 and ... node 3 has white degree 1 after 1 is
+        # chosen (2 gray); nodes 3,4 white; 3 has white-degree 1, 4 has
+        # white-degree 1 -> id order picks 3; 4 grayed.
+        assert greedy_mis_dynamic_degree(path_graph) == {1, 3}
+
+    @given(seeds, small_sizes)
+    @settings(max_examples=30, deadline=None)
+    def test_is_maximal_independent(self, seed, size):
+        g = dense_connected_udg(max(size, 2), seed)
+        mis = greedy_mis_dynamic_degree(g)
+        assert is_maximal_independent_set(g, mis)
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_tends_not_larger_than_needed(self, seed):
+        # Degree-greedy usually gives an MIS no larger than ~the
+        # id-greedy one plus slack; loose sanity envelope.
+        g = dense_connected_udg(30, seed)
+        dynamic = greedy_mis_dynamic_degree(g)
+        static = greedy_mis(g)
+        assert len(dynamic) <= 2 * len(static)
+
+
+class TestMisColoring:
+    def test_colors(self, path_graph):
+        colors = mis_coloring(path_graph, {0, 2, 4})
+        assert colors == {0: "black", 1: "gray", 2: "black", 3: "gray", 4: "black"}
+
+    def test_grid_coloring_total(self):
+        g = grid_udg(4, 4)
+        mis = greedy_mis(g)
+        colors = mis_coloring(g, mis)
+        assert len(colors) == 16
+        assert sum(1 for c in colors.values() if c == "black") == len(mis)

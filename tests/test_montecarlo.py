@@ -1,0 +1,52 @@
+"""Tests for the parallel Monte-Carlo runner."""
+
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo
+
+
+def _trial(seed: int):
+    """Top-level (picklable) trial: deterministic pseudo-measurements."""
+    return {"x": seed % 5, "y": 2 * seed}
+
+
+def _wcds_trial(seed: int):
+    from repro.graphs import connected_random_udg
+    from repro.wcds import algorithm2_centralized
+
+    g = connected_random_udg(20, 3.2, seed=seed)
+    result = algorithm2_centralized(g)
+    return {"size": result.size, "mis": len(result.mis_dominators)}
+
+
+class TestMonteCarlo:
+    def test_serial_matches_expected(self):
+        result = monte_carlo(_trial, range(10), processes=1)
+        assert result["x"].count == 10
+        assert result["y"].maximum == 18
+        assert result["y"].mean == pytest.approx(9.0)
+
+    def test_parallel_matches_serial(self):
+        serial = monte_carlo(_trial, range(8), processes=1)
+        parallel = monte_carlo(_trial, range(8), processes=2)
+        for key in serial:
+            assert serial[key].mean == parallel[key].mean
+            assert serial[key].maximum == parallel[key].maximum
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            monte_carlo(_trial, [])
+
+    def test_unpicklable_trial_explained(self):
+        captured = {}
+        with pytest.raises(TypeError, match="picklable"):
+            monte_carlo(lambda seed: {"x": captured and seed}, range(4), processes=2)
+
+    def test_single_seed_runs_serially(self):
+        result = monte_carlo(_trial, [3])
+        assert result["x"].count == 1
+
+    def test_real_workload_parallel(self):
+        result = monte_carlo(_wcds_trial, range(4), processes=2)
+        assert result["size"].minimum >= result["mis"].minimum
+        assert result["size"].count == 4

@@ -1,0 +1,100 @@
+"""Tests for convergecast aggregation and the broadcast protocols."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.election import elect_leader
+from repro.election.convergecast import converge_cast, count_nodes, tree_maximum
+from repro.graphs import Graph, diameter, line_udg
+from repro.routing.broadcast_protocol import backbone_protocol, flood_protocol
+from repro.sim import UniformLatency
+from repro.wcds import algorithm2_distributed
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestConvergecast:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_count_equals_n(self, seed):
+        g = dense_connected_udg(25, seed)
+        total, _ = count_nodes(g)
+        assert total == g.num_nodes
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_maximum(self, seed):
+        g = dense_connected_udg(20, seed)
+        values = {node: (node * 7) % 13 for node in g.nodes()}
+        result, _ = tree_maximum(g, values)
+        assert result == max(values.values())
+
+    def test_sum_with_reused_election(self, small_udg):
+        election = elect_leader(small_udg)
+        values = {node: node for node in small_udg.nodes()}
+        total, stats = converge_cast(
+            small_udg, values, lambda a, b: a + b, election=election
+        )
+        assert total == sum(values.values())
+        # One AGGREGATE per non-root node.
+        assert stats.by_kind["AGGREGATE"] == small_udg.num_nodes - 1
+
+    def test_async_gives_same_answer(self, small_udg):
+        values = {node: 1 for node in small_udg.nodes()}
+        sync_total, _ = converge_cast(small_udg, values, lambda a, b: a + b)
+        async_total, _ = converge_cast(
+            small_udg, values, lambda a, b: a + b, latency=UniformLatency(seed=2)
+        )
+        assert sync_total == async_total == small_udg.num_nodes
+
+    def test_missing_values_rejected(self, small_udg):
+        with pytest.raises(ValueError):
+            converge_cast(small_udg, {0: 1}, lambda a, b: a + b)
+
+    def test_single_node(self):
+        total, stats = count_nodes(Graph(nodes=[5]))
+        assert total == 1
+        assert stats.messages_sent == 0
+
+
+class TestBroadcastProtocols:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_flood_covers_with_n_transmissions(self, seed):
+        g = dense_connected_udg(25, seed)
+        outcome, stats = flood_protocol(g, 0)
+        assert outcome.full_coverage
+        assert outcome.transmissions == g.num_nodes
+        assert stats.by_kind["DATA"] == g.num_nodes
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_backbone_covers_with_fewer_transmissions(self, seed):
+        g = dense_connected_udg(40, seed)
+        result = algorithm2_distributed(g)
+        flood, _ = flood_protocol(g, 0)
+        backbone, _ = backbone_protocol(g, result, 0)
+        assert backbone.full_coverage
+        assert backbone.transmissions <= flood.transmissions
+
+    def test_latency_on_a_chain_is_hop_distance(self):
+        g = line_udg(12)
+        outcome, _ = flood_protocol(g, 0)
+        assert outcome.last_delivery_time == pytest.approx(11.0)
+
+    def test_backbone_latency_respects_stretch(self):
+        g = dense_connected_udg(40, 9)
+        result = algorithm2_distributed(g)
+        flood, _ = flood_protocol(g, 0)
+        backbone, _ = backbone_protocol(g, result, 0)
+        # Backbone paths dilate by at most 3h+2 (Theorem 11), so the
+        # worst delivery time is within that envelope of flooding's.
+        assert backbone.last_delivery_time <= 3 * flood.last_delivery_time + 2
+
+    def test_async_backbone_still_covers(self):
+        g = dense_connected_udg(30, 4)
+        result = algorithm2_distributed(g)
+        outcome, _ = backbone_protocol(
+            g, result, 0, latency=UniformLatency(seed=4)
+        )
+        assert outcome.full_coverage

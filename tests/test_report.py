@@ -1,0 +1,54 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import generate_report, rows_to_markdown
+
+
+class TestRowsToMarkdown:
+    def test_basic_table(self):
+        text = rows_to_markdown([{"a": 1, "b": 2.5}, {"a": 3, "b": 4.0}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[2] == "| 1 | 2.500 |"
+
+    def test_empty_rows(self):
+        assert "(no rows)" in rows_to_markdown([])
+
+    def test_missing_column_filled_blank(self):
+        text = rows_to_markdown([{"a": 1, "b": 2}, {"a": 3}])
+        assert text.splitlines()[-1] == "| 3 |  |"
+
+
+class TestGenerateReport:
+    def test_selected_experiments(self):
+        report = generate_report(["F2a"])
+        assert "## F2a" in report
+        assert "claim verified" in report
+        assert "| nodes |" in report
+
+    def test_strict_propagates_failures(self):
+        # Abuse non-strict mode by temporarily registering a failing
+        # experiment, then confirm strict raises and lenient records.
+        from repro.experiments.base import REGISTRY, checker, register
+
+        @register("ZZ-test", "always fails", "nothing holds")
+        def run_zz():
+            return [{"x": 1}]
+
+        @checker("ZZ-test")
+        def check_zz(rows):
+            raise AssertionError("expected failure")
+
+        try:
+            with pytest.raises(AssertionError):
+                generate_report(["ZZ-test"], strict=True)
+            lenient = generate_report(["ZZ-test"], strict=False)
+            assert "CLAIM FAILED" in lenient
+        finally:
+            REGISTRY.pop("ZZ-test")
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            generate_report(["NOPE"])

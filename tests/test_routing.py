@@ -1,0 +1,139 @@
+"""Tests for clusterhead routing and backbone broadcast."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import Graph, hop_distance
+from repro.routing import (
+    ClusterheadRouter,
+    backbone_broadcast,
+    blind_flood,
+    spanner_route,
+)
+from repro.wcds import algorithm2_centralized, algorithm2_distributed
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestClusterheadOf:
+    def test_dominator_is_own_head(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        router = ClusterheadRouter(small_udg, result)
+        for dom in result.mis_dominators:
+            assert router.clusterhead_of(dom) == dom
+
+    def test_gray_head_is_a_neighbor_dominator(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        router = ClusterheadRouter(small_udg, result)
+        for node in result.gray_nodes(small_udg):
+            head = router.clusterhead_of(node)
+            assert head in result.mis_dominators
+            assert small_udg.has_edge(node, head)
+
+
+class TestRoutingCorrectness:
+    def _check_all_pairs(self, g, result):
+        router = ClusterheadRouter(g, result)
+        nodes = sorted(g.nodes())
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    assert router.route(src, dst) == [src]
+                    continue
+                path = router.route(src, dst)
+                assert path[0] == src and path[-1] == dst
+                router.validate_path(path)
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_all_pairs_distributed_lists(self, seed):
+        g = dense_connected_udg(20, seed)
+        self._check_all_pairs(g, algorithm2_distributed(g))
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_all_pairs_synthesized_lists(self, seed):
+        g = dense_connected_udg(20, seed)
+        self._check_all_pairs(g, algorithm2_centralized(g))
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_stretch_bound(self, seed):
+        # Routed path length obeys the spanner stretch 3h + 2 (plus
+        # nothing: the clusterhead detour is inside the bound).
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_distributed(g)
+        router = ClusterheadRouter(g, result)
+        rng = random.Random(seed)
+        nodes = sorted(g.nodes())
+        for _ in range(50):
+            src, dst = rng.sample(nodes, 2)
+            path = router.route(src, dst)
+            h = hop_distance(g, src, dst)
+            assert len(path) - 1 <= 3 * h + 2
+
+    def test_adjacent_pair_routes_directly(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        router = ClusterheadRouter(small_udg, result)
+        u, v = next(iter(small_udg.edges()))
+        assert router.route(u, v) == [u, v]
+
+
+class TestSpannerRoute:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_reference_route_is_never_longer_than_router(self, seed):
+        g = dense_connected_udg(20, seed)
+        result = algorithm2_distributed(g)
+        router = ClusterheadRouter(g, result)
+        rng = random.Random(seed)
+        nodes = sorted(g.nodes())
+        for _ in range(20):
+            src, dst = rng.sample(nodes, 2)
+            reference = spanner_route(g, result, src, dst)
+            routed = router.route(src, dst)
+            assert reference is not None
+            assert len(reference) <= len(routed)
+
+    def test_trivial_cases(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        assert spanner_route(small_udg, result, 0, 0) == [0]
+
+
+class TestBroadcast:
+    def test_blind_flood_covers_with_n_transmissions(self, small_udg):
+        outcome = blind_flood(small_udg, 0)
+        assert outcome.full_coverage
+        assert outcome.transmissions == small_udg.num_nodes
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_backbone_covers_everyone(self, seed):
+        g = dense_connected_udg(30, seed)
+        result = algorithm2_distributed(g)
+        for source in list(g.nodes())[:5]:
+            outcome = backbone_broadcast(g, result, source)
+            assert outcome.full_coverage
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_backbone_cheaper_than_flooding_when_dense(self, seed):
+        g = dense_connected_udg(60, seed)
+        result = algorithm2_distributed(g)
+        flood = blind_flood(g, 0)
+        backbone = backbone_broadcast(g, result, 0)
+        assert backbone.transmissions < flood.transmissions
+
+    def test_gray_source_still_covers(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        gray = sorted(result.gray_nodes(small_udg))[0]
+        outcome = backbone_broadcast(small_udg, result, gray)
+        assert outcome.full_coverage
+
+    def test_flood_on_disconnected_counts_component(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        outcome = blind_flood(g, 0)
+        assert outcome.covered == 2
+        assert not outcome.full_coverage

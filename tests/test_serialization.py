@@ -1,0 +1,99 @@
+"""Tests for topology save/load."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import Graph, connected_random_udg
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_to_dict,
+    load_topology,
+    save_topology,
+    udg_from_dict,
+    udg_to_dict,
+)
+
+from tutils import seeds
+
+
+class TestUdgRoundTrip:
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_round_trip_preserves_everything(self, seed):
+        g = connected_random_udg(20, 3.0, seed=seed)
+        back = udg_from_dict(udg_to_dict(g))
+        assert back.positions == g.positions
+        assert back.radius == g.radius
+        assert {frozenset(e) for e in back.edges()} == {
+            frozenset(e) for e in g.edges()
+        }
+
+    def test_file_round_trip(self, tmp_path):
+        g = connected_random_udg(15, 2.8, seed=3)
+        path = str(tmp_path / "net.json")
+        save_topology(g, path)
+        back = load_topology(path)
+        assert back.positions == g.positions
+
+    def test_payload_is_plain_json(self, tmp_path):
+        g = connected_random_udg(5, 2.0, seed=1)
+        path = str(tmp_path / "net.json")
+        save_topology(g, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["format"] == "udg"
+        assert len(payload["nodes"]) == 5
+
+    def test_custom_radius_preserved(self):
+        from repro.graphs import build_udg
+
+        g = build_udg([(0, 0), (1.5, 0)], radius=2.0)
+        back = udg_from_dict(udg_to_dict(g))
+        assert back.radius == 2.0
+        assert back.has_edge(0, 1)
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError):
+            udg_from_dict({"format": "graph", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(ValueError):
+            udg_from_dict({"format": "udg", "version": 99})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            udg_from_dict(
+                {
+                    "format": "udg",
+                    "version": 1,
+                    "radius": 1.0,
+                    "nodes": [
+                        {"id": 0, "x": 0, "y": 0},
+                        {"id": 0, "x": 1, "y": 1},
+                    ],
+                }
+            )
+
+
+class TestGraphRoundTrip:
+    def test_round_trip(self, path_graph):
+        back = graph_from_dict(graph_to_dict(path_graph))
+        assert set(back.nodes()) == set(path_graph.nodes())
+        assert {frozenset(e) for e in back.edges()} == {
+            frozenset(e) for e in path_graph.edges()
+        }
+
+    def test_isolated_nodes_survive(self, tmp_path):
+        g = Graph(edges=[(0, 1)], nodes=[7])
+        path = str(tmp_path / "g.json")
+        save_topology(g, path)
+        back = load_topology(path)
+        assert 7 in back and back.degree(7) == 0
+
+    def test_unknown_format_on_load(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "mystery"}')
+        with pytest.raises(ValueError):
+            load_topology(str(path))

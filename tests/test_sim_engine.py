@@ -1,0 +1,267 @@
+"""Tests for the discrete-event simulator: delivery, accounting,
+latency models, timers, and fault injection."""
+
+import pytest
+
+from repro.graphs import Graph, line_udg
+from repro.sim import (
+    FixedLatency,
+    Message,
+    NodeContext,
+    ProtocolNode,
+    Simulator,
+    UniformLatency,
+    run_protocol,
+)
+
+
+class Beacon(ProtocolNode):
+    """Broadcasts HELLO once; records everything it hears."""
+
+    def __init__(self, ctx):
+        super().__init__(ctx)
+        self.heard = []
+
+    def on_start(self):
+        self.ctx.broadcast("HELLO", origin=self.node_id)
+
+    def on_message(self, msg):
+        self.heard.append((msg.sender, msg.kind))
+
+    def result(self):
+        return {"heard": list(self.heard)}
+
+
+class Relay(ProtocolNode):
+    """Floods a token once: rebroadcast on first receipt."""
+
+    def __init__(self, ctx, origin):
+        super().__init__(ctx)
+        self.origin = origin
+        self.got = False
+
+    def on_start(self):
+        if self.node_id == self.origin:
+            self.got = True
+            self.ctx.broadcast("TOKEN")
+
+    def on_message(self, msg):
+        if msg.kind == "TOKEN" and not self.got:
+            self.got = True
+            self.ctx.broadcast("TOKEN")
+
+    def result(self):
+        return {"got": self.got}
+
+
+def triangle():
+    return Graph(edges=[(0, 1), (1, 2), (0, 2)])
+
+
+class TestBroadcastDelivery:
+    def test_every_neighbor_hears_once(self):
+        results, stats = run_protocol(triangle(), Beacon)
+        for node, res in results.items():
+            senders = sorted(sender for sender, _ in res["heard"])
+            assert senders == sorted({0, 1, 2} - {node})
+        assert stats.messages_sent == 3  # one broadcast per node
+        assert stats.deliveries == 6  # two receivers each
+
+    def test_flood_reaches_all(self):
+        g = line_udg(10)
+        results, stats = run_protocol(g, lambda ctx: Relay(ctx, origin=0))
+        assert all(res["got"] for res in results.values())
+        assert stats.messages_sent == 10
+        assert stats.by_kind["TOKEN"] == 10
+
+    def test_finish_time_is_propagation_depth(self):
+        g = line_udg(10)
+        sim = Simulator(g, lambda ctx: Relay(ctx, origin=0))
+        stats = sim.run()
+        # Unit latency: node i rebroadcasts at time i; the last event is
+        # node 9's broadcast (sent at t=9) landing back on node 8 at 10.
+        assert stats.finish_time == pytest.approx(10.0)
+
+
+class TestUnicast:
+    def test_unicast_reaches_only_dest(self):
+        class Pinger(ProtocolNode):
+            def __init__(self, ctx):
+                super().__init__(ctx)
+                self.heard = []
+
+            def on_start(self):
+                if self.node_id == 0:
+                    self.ctx.send(1, "PING")
+
+            def on_message(self, msg):
+                self.heard.append(msg.kind)
+
+            def result(self):
+                return {"heard": self.heard}
+
+        results, stats = run_protocol(triangle(), Pinger)
+        assert results[1]["heard"] == ["PING"]
+        assert results[2]["heard"] == []
+        assert stats.messages_sent == 1
+
+    def test_unicast_to_non_neighbor_rejected(self):
+        class Bad(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.ctx.send(9, "PING")
+
+        g = Graph(edges=[(0, 1)], nodes=[9])
+        with pytest.raises(ValueError):
+            Simulator(g, Bad).run()
+
+
+class TestTimers:
+    def test_timer_fires_in_order(self):
+        events = []
+
+        class Timed(ProtocolNode):
+            def on_start(self):
+                self.ctx.set_timer(2.0, "late")
+                self.ctx.set_timer(1.0, "early")
+
+            def on_timer(self, tag):
+                events.append((self.ctx.now, tag))
+
+        Simulator(Graph(nodes=[0]), Timed).run()
+        assert events == [(1.0, "early"), (2.0, "late")]
+
+    def test_negative_delay_rejected(self):
+        class Bad(ProtocolNode):
+            def on_start(self):
+                self.ctx.set_timer(-1.0)
+
+        with pytest.raises(ValueError):
+            Simulator(Graph(nodes=[0]), Bad).run()
+
+
+class TestLatencyModels:
+    def test_fixed_latency_validation(self):
+        with pytest.raises(ValueError):
+            FixedLatency(0)
+
+    def test_uniform_latency_validation(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0, 1)
+        with pytest.raises(ValueError):
+            UniformLatency(2, 1)
+
+    def test_uniform_latency_range(self):
+        model = UniformLatency(0.5, 1.5, seed=1)
+        for _ in range(100):
+            assert 0.5 <= model(0, 1) <= 1.5
+
+    def test_async_flood_still_completes(self):
+        g = line_udg(8)
+        results, _ = run_protocol(
+            g, lambda ctx: Relay(ctx, origin=0), latency=UniformLatency(seed=3)
+        )
+        assert all(res["got"] for res in results.values())
+
+
+class TestFaultInjection:
+    def test_loss_rate_drops_messages(self):
+        g = Graph(edges=[(0, 1)])
+        sim = Simulator(g, Beacon, loss_rate=0.999999, seed=1)
+        stats = sim.run()
+        assert stats.dropped == 2
+        assert stats.deliveries == 0
+
+    def test_invalid_loss_rate(self):
+        with pytest.raises(ValueError):
+            Simulator(Graph(nodes=[0]), Beacon, loss_rate=1.0)
+
+    def test_crashed_node_is_silent(self):
+        g = triangle()
+        sim = Simulator(g, lambda ctx: Relay(ctx, origin=0))
+        sim.crash_node(1)
+        sim.run()
+        results = sim.collect_results()
+        assert not results[1]["got"]
+        assert results[2]["got"]  # triangle: direct edge 0-2 survives
+        assert sim.crashed == frozenset({1})
+
+    def test_crash_partitions_flood(self):
+        g = line_udg(5)
+        sim = Simulator(g, lambda ctx: Relay(ctx, origin=0))
+        sim.crash_node(2)
+        sim.run()
+        results = sim.collect_results()
+        assert results[1]["got"]
+        assert not results[3]["got"] and not results[4]["got"]
+
+    def test_neighbor_ids_exclude_crashed(self):
+        g = triangle()
+        sim = Simulator(g, Beacon)
+        sim.crash_node(2)
+        assert sim.neighbor_ids(0) == frozenset({1})
+        sim.revive_node(2)
+        assert sim.neighbor_ids(0) == frozenset({1, 2})
+
+
+class TestRunControls:
+    def test_run_until_pauses_and_resumes(self):
+        g = line_udg(10)
+        sim = Simulator(g, lambda ctx: Relay(ctx, origin=0))
+        sim.run(until=3.0)
+        partial = sum(1 for res in sim.collect_results().values() if res["got"])
+        assert 0 < partial < 10
+        sim.run()
+        assert all(res["got"] for res in sim.collect_results().values())
+
+    def test_max_events_guard(self):
+        class Chatter(ProtocolNode):
+            def on_start(self):
+                self.ctx.broadcast("NOISE")
+
+            def on_message(self, msg):
+                self.ctx.broadcast("NOISE")  # livelock
+
+        with pytest.raises(RuntimeError):
+            Simulator(triangle(), Chatter).run(max_events=100)
+
+    def test_stats_summary_keys(self):
+        _, stats = run_protocol(triangle(), Beacon)
+        summary = stats.summary()
+        assert summary["messages"] == 3
+        assert summary["max_per_node"] == 1
+        assert stats.messages_per_node() == pytest.approx(1.0)
+
+
+class TestMessage:
+    def test_accessors(self):
+        msg = Message(sender=1, kind="X", data={"a": 2})
+        assert msg["a"] == 2
+        assert msg.get("missing", 7) == 7
+        assert msg.is_broadcast
+        assert not Message(1, "X", dest=2).is_broadcast
+
+
+class TestPayloadAccounting:
+    def test_scalar_payload_size(self):
+        assert Message(0, "X", {"a": 1, "b": "s"}).payload_size() == 3
+
+    def test_collection_payload_size(self):
+        msg = Message(0, "X", {"neighbors": (1, 2, 3, 4)})
+        assert msg.payload_size() == 5
+
+    def test_empty_collection_counts_one(self):
+        assert Message(0, "X", {"doms": ()}).payload_size() == 2
+
+    def test_stats_accumulate_payload(self):
+        class Chatty(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.ctx.broadcast("LIST", items=(1, 2, 3))
+                    self.ctx.broadcast("PING")
+
+        g = Graph(edges=[(0, 1)])
+        _, stats = run_protocol(g, Chatty)
+        assert stats.payload_entries == 4 + 1
+        assert stats.payload_by_kind["LIST"] == 4
+        assert stats.payload_by_kind["PING"] == 1

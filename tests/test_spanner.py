@@ -1,0 +1,169 @@
+"""Tests for spanner sparsity accounting and dilation measurement."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Point
+from repro.graphs import Graph, bfs_distances, build_udg, shortest_path
+from repro.spanner import (
+    classify_black_edges,
+    max_length_min_hop_paths,
+    measure_dilation,
+    sampled_dilation,
+    sparsity_report,
+)
+from repro.wcds import WCDSResult, algorithm2_centralized
+
+from tutils import dense_connected_udg, seeds
+
+
+def _result(mis, additional=frozenset()):
+    return WCDSResult(
+        dominators=frozenset(mis) | frozenset(additional),
+        mis_dominators=frozenset(mis),
+        additional_dominators=frozenset(additional),
+    )
+
+
+class TestEdgeClassification:
+    def test_types_on_a_small_example(self):
+        # 0 (MIS) - 1 (gray) - 2 (additional) - 3 (gray), plus 2-0? no:
+        # MIS={0}, C={2}; edges 0-1 gray_mis, 1-2 gray_additional,
+        # 2-3 gray_additional.
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        counts = classify_black_edges(g, _result({0}, {2}))
+        assert counts.gray_mis == 1
+        assert counts.gray_additional == 2
+        assert counts.mis_additional == 0
+        assert counts.total == 3
+
+    def test_mis_additional_edge(self):
+        g = Graph(edges=[(0, 2), (2, 3)])
+        counts = classify_black_edges(g, _result({0}, {2}))
+        assert counts.mis_additional == 1
+        assert counts.gray_additional == 1
+
+    def test_additional_additional_edge(self):
+        g = Graph(edges=[(1, 2), (0, 1), (3, 2)])
+        counts = classify_black_edges(g, _result({0, 3}, {1, 2}))
+        assert counts.additional_additional == 1
+        assert counts.mis_additional == 2
+
+    def test_white_edges_excluded(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        counts = classify_black_edges(g, _result({0}))
+        assert counts.total == 1  # 1-2 is white
+
+    def test_mis_independence_violation_detected(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(AssertionError):
+            classify_black_edges(g, _result({0, 1}))
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_total_matches_black_edge_count(self, seed):
+        from repro.wcds import black_edges
+
+        g = dense_connected_udg(30, seed)
+        result = algorithm2_centralized(g)
+        counts = classify_black_edges(g, result)
+        assert counts.total == len(black_edges(g, result.dominators))
+
+    def test_sparsity_report_keys(self, small_udg):
+        result = algorithm2_centralized(small_udg)
+        report = sparsity_report(small_udg, result)
+        assert report["black_edges"] <= report["udg_edges"]
+        assert report["black_edges"] <= report["alg2_bound"]
+
+
+class TestMaxLengthMinHopPaths:
+    def test_single_path(self):
+        g = build_udg([(0, 0), (0.8, 0), (1.6, 0)])
+        hops, maxlen = max_length_min_hop_paths(g, g, 0)
+        assert hops[2] == 2
+        assert maxlen[2] == pytest.approx(1.6)
+
+    def test_picks_longest_among_min_hop(self):
+        # Two 2-hop routes from 0 to 3: via 1 (short legs) or via 2
+        # (long legs); the DP must return the LONGER one.
+        g = build_udg(
+            {
+                0: Point(0, 0),
+                1: Point(0.5, 0.1),
+                2: Point(0.5, -0.8),
+                3: Point(1.0, 0),
+            }
+        )
+        assert g.has_edge(0, 1) and g.has_edge(1, 3)
+        assert g.has_edge(0, 2) and g.has_edge(2, 3)
+        hops, maxlen = max_length_min_hop_paths(g, g, 0)
+        assert hops[3] == 1  # 0 and 3 are adjacent (distance 1.0)
+        # Use a spanner without the direct edge to force 2 hops.
+        spanner = Graph(edges=[(0, 1), (1, 3), (0, 2), (2, 3)])
+        hops, maxlen = max_length_min_hop_paths(g, spanner, 0)
+        assert hops[3] == 2
+        via2 = g.euclidean_distance(0, 2) + g.euclidean_distance(2, 3)
+        assert maxlen[3] == pytest.approx(via2)
+
+    def test_matches_brute_force_enumeration(self):
+        # Exhaustively enumerate min-hop paths on a small UDG and
+        # compare against the DP.
+        g = dense_connected_udg(12, 3)
+        source = 0
+        hops, maxlen = max_length_min_hop_paths(g, g, source)
+        dist = bfs_distances(g, source)
+        for target in g.nodes():
+            if target == source:
+                continue
+            k = dist[target]
+            best = 0.0
+            stack = [([source], 0.0)]
+            while stack:
+                path, length = stack.pop()
+                node = path[-1]
+                if len(path) - 1 == k:
+                    if node == target:
+                        best = max(best, length)
+                    continue
+                for nbr in g.adjacency(node):
+                    if dist.get(nbr) == len(path):
+                        stack.append(
+                            (path + [nbr], length + g.euclidean_distance(node, nbr))
+                        )
+            assert maxlen[target] == pytest.approx(best)
+
+
+class TestMeasureDilation:
+    def test_identity_spanner_has_unit_dilation(self, small_udg):
+        report = measure_dilation(small_udg, small_udg)
+        assert report.max_hop_ratio <= 1.0 + 1e-9
+        assert report.hop_bound_holds and report.geo_bound_holds
+
+    def test_disconnected_spanner_detected(self, small_udg):
+        broken = Graph(nodes=small_udg.nodes())
+        with pytest.raises(AssertionError):
+            measure_dilation(small_udg, broken)
+
+    def test_sampled_subset_of_exact(self, medium_udg):
+        result = algorithm2_centralized(medium_udg)
+        spanner = result.spanner(medium_udg)
+        exact = measure_dilation(medium_udg, spanner)
+        sampled = sampled_dilation(medium_udg, spanner, num_sources=10, seed=1)
+        assert sampled.pairs_evaluated <= exact.pairs_evaluated
+        assert sampled.max_hop_ratio <= exact.max_hop_ratio + 1e-9
+
+    def test_empty_pair_set(self):
+        # A 2-node adjacent graph has no non-adjacent pairs.
+        g = build_udg([(0, 0), (0.5, 0)])
+        report = measure_dilation(g, g)
+        assert report.pairs_evaluated == 0
+        assert report.hop_bound_holds
+
+    def test_worst_pair_reported(self, medium_udg):
+        result = algorithm2_centralized(medium_udg)
+        report = measure_dilation(medium_udg, result.spanner(medium_udg))
+        assert report.worst_hop_pair is not None
+        u, v = report.worst_hop_pair
+        assert u in medium_udg and v in medium_udg

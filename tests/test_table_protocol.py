@@ -1,0 +1,93 @@
+"""Tests for the distributed routing-table (link-state) protocol."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.routing import ClusterheadRouter
+from repro.routing.table_protocol import build_routing_tables, _dijkstra_table
+from repro.sim import UniformLatency
+from repro.wcds import algorithm2_centralized, algorithm2_distributed
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestDijkstraTable:
+    def test_simple_overlay(self):
+        database = {
+            "a": (("b", 2),),
+            "b": (("a", 2), ("c", 3)),
+            "c": (("b", 3),),
+        }
+        table = _dijkstra_table("a", database)
+        assert table["b"] == ("b", 2)
+        assert table["c"] == ("b", 5)
+
+    def test_one_sided_advertisement_is_usable(self):
+        # Only "a" advertises the a-b link (relay-learned asymmetry):
+        # the link still works both ways.
+        database = {"a": (("b", 3),), "b": ()}
+        assert _dijkstra_table("b", database)["a"] == ("a", 3)
+
+    def test_prefers_cheaper_parallel_advertisements(self):
+        database = {"a": (("b", 3),), "b": (("a", 2),)}
+        assert _dijkstra_table("a", database)["b"] == ("b", 2)
+
+
+class TestProtocol:
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_every_dominator_gets_a_full_table(self, seed):
+        g = dense_connected_udg(30, seed)
+        result = algorithm2_distributed(g)
+        tables, _ = build_routing_tables(g, result)
+        mis = set(result.mis_dominators)
+        assert set(tables) == mis
+        for source, table in tables.items():
+            assert set(table) == mis - {source}
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_distances_match_centralized_router(self, seed):
+        g = dense_connected_udg(25, seed)
+        result = algorithm2_distributed(g)
+        tables, _ = build_routing_tables(g, result)
+        router = ClusterheadRouter(g, result)
+        # The centralized router stores next hops; recompute its
+        # distances from the same overlay for comparison.
+        for source, table in tables.items():
+            reference = _dijkstra_table(
+                source,
+                {
+                    dom: tuple(
+                        [(w, 2) for w in router.lists[dom].two_hop]
+                        + [(w, 3) for w in router.lists[dom].three_hop]
+                    )
+                    for dom in result.mis_dominators
+                },
+            )
+            for target, (_, dist) in table.items():
+                assert reference[target][1] == dist
+
+    def test_flooding_cost_is_n_per_lsa(self, small_udg):
+        result = algorithm2_distributed(small_udg)
+        tables, stats = build_routing_tables(small_udg, result)
+        n = small_udg.num_nodes
+        num_lsas = len(result.mis_dominators)
+        # Scoped flooding: every node forwards each LSA exactly once.
+        assert stats.by_kind["LSA"] == n * num_lsas
+
+    def test_async_still_converges(self):
+        g = dense_connected_udg(25, 5)
+        result = algorithm2_distributed(g)
+        sync_tables, _ = build_routing_tables(g, result)
+        async_tables, _ = build_routing_tables(
+            g, result, latency=UniformLatency(seed=1)
+        )
+        for source in sync_tables:
+            for target, (_, dist) in sync_tables[source].items():
+                assert async_tables[source][target][1] == dist
+
+    def test_centralized_result_rejected(self, small_udg):
+        result = algorithm2_centralized(small_udg)
+        with pytest.raises(ValueError):
+            build_routing_tables(small_udg, result)

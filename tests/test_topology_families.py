@@ -1,0 +1,58 @@
+"""Both WCDS algorithms across every topology family the generators
+produce — the broad-workload correctness sweep."""
+
+import pytest
+
+from repro.graphs import (
+    clustered_udg,
+    connected_random_udg,
+    grid_udg,
+    is_connected,
+    line_udg,
+    paper_figure2_udg,
+    perturbed_grid_udg,
+)
+from repro.spanner import measure_dilation
+from repro.wcds import (
+    algorithm1_distributed,
+    algorithm2_distributed,
+    is_weakly_connected_dominating_set,
+)
+
+
+def _families():
+    yield "uniform-sparse", connected_random_udg(50, 5.5, seed=1)
+    yield "uniform-dense", connected_random_udg(50, 2.8, seed=2)
+    yield "grid-4connected", grid_udg(6, 6, spacing=0.9)
+    yield "grid-8connected", grid_udg(6, 6, spacing=0.6)
+    yield "perturbed-grid", perturbed_grid_udg(6, 6, seed=3)
+    yield "chain", line_udg(25)
+    yield "dense-chain", line_udg(20, spacing=0.45)
+    yield "figure2", paper_figure2_udg()
+    clustered = clustered_udg(4, 10, side=4.0, seed=4)
+    if is_connected(clustered):
+        yield "clustered", clustered
+
+
+FAMILIES = dict(_families())
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+class TestBothAlgorithmsEverywhere:
+    def test_algorithm1(self, family):
+        g = FAMILIES[family]
+        result = algorithm1_distributed(g)
+        assert is_weakly_connected_dominating_set(g, result.dominators)
+
+    def test_algorithm2(self, family):
+        g = FAMILIES[family]
+        result = algorithm2_distributed(g)
+        assert is_weakly_connected_dominating_set(g, result.dominators)
+        assert result.meta["stats"].max_messages_per_node() <= 60
+
+    def test_algorithm2_dilation(self, family):
+        g = FAMILIES[family]
+        result = algorithm2_distributed(g)
+        report = measure_dilation(g, result.spanner(g))
+        assert report.hop_bound_holds
+        assert report.geo_bound_holds

@@ -1,0 +1,172 @@
+"""Unit tests for BFS traversals, distances, and components."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    Graph,
+    all_pairs_hop_distances,
+    bfs_distances,
+    bfs_tree,
+    connected_components,
+    diameter,
+    eccentricity,
+    hop_distance,
+    is_connected,
+    k_hop_neighborhood,
+    nodes_at_exact_distance,
+    set_distance,
+    shortest_path,
+)
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph(self, path_graph):
+        assert bfs_distances(path_graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_cutoff(self, path_graph):
+        assert bfs_distances(path_graph, 0, cutoff=2) == {0: 0, 1: 1, 2: 2}
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph(edges=[(0, 1)], nodes=[2])
+        assert 2 not in bfs_distances(g, 0)
+
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        g = Graph(edges=edges)
+        source = next(iter(g.nodes()))
+        expected = nx.single_source_shortest_path_length(g.to_networkx(), source)
+        assert bfs_distances(g, source) == dict(expected)
+
+
+class TestBfsTree:
+    def test_root_has_no_parent(self, path_graph):
+        parents = bfs_tree(path_graph, 2)
+        assert parents[2] is None
+
+    def test_parent_is_one_level_closer(self, small_udg):
+        source = next(iter(small_udg.nodes()))
+        parents = bfs_tree(small_udg, source)
+        dist = bfs_distances(small_udg, source)
+        for node, parent in parents.items():
+            if parent is not None:
+                assert dist[parent] == dist[node] - 1
+                assert small_udg.has_edge(node, parent)
+
+
+class TestShortestPath:
+    def test_trivial(self, path_graph):
+        assert shortest_path(path_graph, 3, 3) == [3]
+
+    def test_path_endpoints_and_length(self, path_graph):
+        path = shortest_path(path_graph, 0, 4)
+        assert path == [0, 1, 2, 3, 4]
+
+    def test_disconnected_returns_none(self):
+        g = Graph(nodes=[0, 1])
+        assert shortest_path(g, 0, 1) is None
+
+    @given(edge_lists)
+    def test_length_matches_networkx(self, edges):
+        g = Graph(edges=edges)
+        nodes = sorted(g.nodes())
+        u, v = nodes[0], nodes[-1]
+        nx_graph = g.to_networkx()
+        path = shortest_path(g, u, v)
+        if path is None:
+            assert not nx.has_path(nx_graph, u, v)
+        else:
+            assert len(path) - 1 == nx.shortest_path_length(nx_graph, u, v)
+            for a, b in zip(path, path[1:]):
+                assert g.has_edge(a, b)
+
+
+class TestHopDistance:
+    def test_same_node(self, path_graph):
+        assert hop_distance(path_graph, 1, 1) == 0
+
+    def test_disconnected(self):
+        g = Graph(nodes=[0, 1])
+        assert hop_distance(g, 0, 1) is None
+
+
+class TestSetDistance:
+    def test_overlapping_sets(self, path_graph):
+        assert set_distance(path_graph, {0, 1}, {1, 2}) == 0
+
+    def test_disjoint_sets(self, path_graph):
+        assert set_distance(path_graph, {0}, {3, 4}) == 3
+
+    def test_multi_source_takes_minimum(self, path_graph):
+        assert set_distance(path_graph, {0, 3}, {4}) == 1
+
+    def test_empty_set_raises(self, path_graph):
+        with pytest.raises(ValueError):
+            set_distance(path_graph, set(), {1})
+
+    def test_unreachable(self):
+        g = Graph(nodes=[0, 1])
+        assert set_distance(g, {0}, {1}) is None
+
+
+class TestComponents:
+    def test_single_component(self, path_graph):
+        assert connected_components(path_graph) == [{0, 1, 2, 3, 4}]
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1)], nodes=[2, 3])
+        comps = connected_components(g)
+        assert sorted(map(sorted, comps)) == [[0, 1], [2], [3]]
+
+    def test_is_connected_edge_cases(self):
+        assert is_connected(Graph())
+        assert is_connected(Graph(nodes=[1]))
+        assert not is_connected(Graph(nodes=[1, 2]))
+
+    @given(edge_lists)
+    def test_component_count_matches_networkx(self, edges):
+        g = Graph(edges=edges)
+        assert len(connected_components(g)) == nx.number_connected_components(
+            g.to_networkx()
+        )
+
+
+class TestDiameterEccentricity:
+    def test_path_diameter(self, path_graph):
+        assert diameter(path_graph) == 4
+
+    def test_star_diameter(self, star_graph):
+        assert diameter(star_graph) == 2
+
+    def test_eccentricity(self, path_graph):
+        assert eccentricity(path_graph, 2) == 2
+        assert eccentricity(path_graph, 0) == 4
+
+    def test_diameter_requires_connected(self):
+        with pytest.raises(ValueError):
+            diameter(Graph(nodes=[1, 2]))
+        with pytest.raises(ValueError):
+            diameter(Graph())
+
+
+class TestNeighborhoods:
+    def test_k_hop_excludes_self(self, path_graph):
+        assert k_hop_neighborhood(path_graph, 2, 1) == {1, 3}
+        assert k_hop_neighborhood(path_graph, 2, 2) == {0, 1, 3, 4}
+
+    def test_exact_distance(self, path_graph):
+        assert nodes_at_exact_distance(path_graph, 0, 3) == {3}
+        assert nodes_at_exact_distance(path_graph, 0, 9) == set()
+
+    def test_all_pairs(self, star_graph):
+        table = all_pairs_hop_distances(star_graph)
+        assert table[1][5] == 2
+        assert table[0][3] == 1

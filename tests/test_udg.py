@@ -1,0 +1,143 @@
+"""Unit + property tests for unit-disk graph construction."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.geometry import Point
+from repro.graphs import UnitDiskGraph, build_udg, uniform_random_udg
+
+from tutils import position_lists, seeds
+
+
+class TestConstruction:
+    def test_edge_iff_within_radius(self):
+        g = build_udg([(0, 0), (0.5, 0), (2, 0)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_boundary_distance_is_an_edge(self):
+        g = build_udg([(0, 0), (1.0, 0)])
+        assert g.has_edge(0, 1)
+
+    def test_custom_radius(self):
+        g = build_udg([(0, 0), (1.5, 0)], radius=2.0)
+        assert g.has_edge(0, 1)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            build_udg([(0, 0)], radius=0)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            build_udg([(0, 0)], method="magic")
+
+    def test_mapping_input_keeps_ids(self):
+        g = build_udg({"a": Point(0, 0), "b": Point(0.2, 0)})
+        assert g.has_edge("a", "b")
+
+    def test_negative_coordinates(self):
+        g = build_udg([(-3.0, -3.0), (-3.5, -3.0), (3.0, 3.0)])
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+    @given(position_lists)
+    @settings(max_examples=60)
+    def test_grid_equals_brute_force(self, positions):
+        grid = build_udg(positions, method="grid")
+        brute = build_udg(positions, method="brute")
+        assert {frozenset(e) for e in grid.edges()} == {
+            frozenset(e) for e in brute.edges()
+        }
+
+    @given(position_lists)
+    @settings(max_examples=40)
+    def test_grid_equals_brute_force_other_radius(self, positions):
+        grid = build_udg(positions, method="grid", radius=1.7)
+        brute = build_udg(positions, method="brute", radius=1.7)
+        assert grid.num_edges == brute.num_edges
+
+
+class TestGeometryQueries:
+    def test_euclidean_distance(self):
+        g = build_udg([(0, 0), (0.3, 0.4)])
+        assert g.euclidean_distance(0, 1) == pytest.approx(0.5)
+
+    def test_path_euclidean_length(self):
+        g = build_udg([(0, 0), (0.6, 0), (1.2, 0)])
+        assert g.path_euclidean_length([0, 1, 2]) == pytest.approx(1.2)
+
+    def test_nodes_within(self):
+        g = build_udg([(0, 0), (1, 0), (5, 5)])
+        assert set(g.nodes_within(Point(0, 0), 1.5)) == {0, 1}
+
+    def test_position_lookup(self):
+        g = build_udg({"x": Point(1, 2)})
+        assert g.position("x") == Point(1, 2)
+
+
+class TestMoveNode:
+    def test_gains_and_losses(self):
+        g = build_udg([(0, 0), (0.5, 0), (3, 0)])
+        gained, lost = g.move_node(0, Point(2.5, 0))
+        assert gained == {2}
+        assert lost == {1}
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(0, 1)
+
+    def test_noop_move(self):
+        g = build_udg([(0, 0), (0.5, 0)])
+        gained, lost = g.move_node(0, Point(0.1, 0))
+        assert gained == set() and lost == set()
+
+    def test_unknown_node(self):
+        g = build_udg([(0, 0)])
+        with pytest.raises(KeyError):
+            g.move_node(99, Point(0, 0))
+
+    @given(seeds)
+    @settings(max_examples=20)
+    def test_move_preserves_udg_invariant(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = uniform_random_udg(15, 3.0, rng=rng)
+        for _ in range(5):
+            node = rng.randrange(15)
+            g.move_node(node, Point(rng.uniform(0, 3), rng.uniform(0, 3)))
+        # After arbitrary moves, edges must match distances exactly.
+        for u in g.nodes():
+            for v in g.nodes():
+                if u == v:
+                    continue
+                expected = g.euclidean_distance(u, v) <= 1.0
+                assert g.has_edge(u, v) == expected
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        g = build_udg([(0, 0), (0.5, 0)])
+        clone = g.copy()
+        clone.move_node(0, Point(3, 3))
+        assert g.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+        assert isinstance(clone, UnitDiskGraph)
+
+
+class TestDensityScaling:
+    def test_dense_deployment_has_quadratic_edges(self):
+        # All nodes inside a unit square -> complete graph region:
+        # demonstrates why the raw UDG is not a sparse spanner.
+        n = 40
+        g = uniform_random_udg(n, 0.7, seed=1)
+        assert g.num_edges == n * (n - 1) // 2
+
+    def test_networkx_cross_validation(self):
+        import networkx as nx
+
+        g = uniform_random_udg(60, 5.0, seed=3)
+        positions = {node: tuple(g.positions[node]) for node in g.nodes()}
+        reference = nx.random_geometric_graph(60, 1.0, pos=positions)
+        assert g.num_edges == reference.number_of_edges()

@@ -1,0 +1,121 @@
+"""Tests for the SVG canvas and figure renderers."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.graphs import connected_random_udg, paper_figure2_udg
+from repro.viz import SvgCanvas, draw_levels, draw_route, draw_udg, draw_wcds
+from repro.wcds import WCDSResult, algorithm2_distributed
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def _parse(canvas: SvgCanvas) -> ET.Element:
+    return ET.fromstring(canvas.to_string())
+
+
+class TestSvgCanvas:
+    def test_document_is_well_formed_xml(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.line(0, 0, 1, 1)
+        canvas.circle(0.5, 0.5, 0.1)
+        canvas.text(0.5, 0.5, "hi & <bye>")
+        canvas.polyline([(0, 0), (1, 0), (1, 1)])
+        root = _parse(canvas)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_dimensions_and_viewbox(self):
+        canvas = SvgCanvas(200, 100, viewbox=(-1, -2, 4, 2))
+        root = _parse(canvas)
+        assert root.get("width") == "200"
+        assert root.get("viewBox") == "-1 -2 4 2"
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 10)
+
+    def test_text_is_escaped(self):
+        canvas = SvgCanvas(10, 10)
+        canvas.text(1, 1, "<&>")
+        assert "<&>" not in canvas.to_string()
+        assert "&lt;&amp;&gt;" in canvas.to_string()
+
+    def test_num_elements_excludes_background(self):
+        canvas = SvgCanvas(10, 10)
+        assert canvas.num_elements == 0
+        canvas.line(0, 0, 1, 1)
+        assert canvas.num_elements == 1
+
+    def test_no_background(self):
+        canvas = SvgCanvas(10, 10, background=None)
+        assert canvas.num_elements == 0
+        assert "<rect" not in canvas.to_string()
+
+    def test_save(self, tmp_path):
+        canvas = SvgCanvas(10, 10)
+        canvas.circle(1, 1, 0.5)
+        target = tmp_path / "out.svg"
+        canvas.save(str(target))
+        assert target.read_text().startswith("<svg")
+
+
+class TestFigureRenderers:
+    def test_draw_udg_counts(self):
+        g = connected_random_udg(20, 3.0, seed=1)
+        root = _parse(draw_udg(g))
+        circles = root.findall(f"{SVG_NS}circle")
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(circles) == g.num_nodes
+        assert len(lines) == g.num_edges
+
+    def test_draw_udg_labels(self):
+        g = connected_random_udg(10, 2.5, seed=2)
+        root = _parse(draw_udg(g, labels=True))
+        assert len(root.findall(f"{SVG_NS}text")) == g.num_nodes
+
+    def test_draw_wcds_colors_partition_nodes(self):
+        g = connected_random_udg(30, 3.5, seed=3)
+        result = algorithm2_distributed(g)
+        root = _parse(draw_wcds(g, result))
+        fills = [c.get("fill") for c in root.findall(f"{SVG_NS}circle")]
+        assert fills.count("#111111") == len(result.mis_dominators)
+        assert fills.count("#1f4e8c") == len(result.additional_dominators)
+        assert fills.count("#b9b9b9") == len(result.gray_nodes(g))
+
+    def test_draw_wcds_dashes_white_edges(self):
+        g = paper_figure2_udg()
+        result = WCDSResult(
+            dominators=frozenset({1, 2}), mis_dominators=frozenset({1, 2})
+        )
+        root = _parse(draw_wcds(g, result))
+        lines = root.findall(f"{SVG_NS}line")
+        dashed = [l for l in lines if l.get("stroke-dasharray")]
+        solid = [l for l in lines if not l.get("stroke-dasharray")]
+        from repro.wcds import black_edges
+
+        assert len(solid) == len(black_edges(g, {1, 2}))
+        assert len(dashed) == g.num_edges - len(solid)
+
+    def test_draw_route_has_polyline_markers(self):
+        g = connected_random_udg(25, 3.2, seed=4)
+        result = algorithm2_distributed(g)
+        from repro.routing import ClusterheadRouter
+
+        router = ClusterheadRouter(g, result)
+        nodes = sorted(g.nodes())
+        path = router.route(nodes[0], nodes[-1])
+        root = _parse(draw_route(g, result, path))
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 1
+        assert len(polylines[0].get("points").split()) == len(path)
+
+    def test_draw_levels_labels_every_node(self):
+        from repro.graphs import bfs_distances
+
+        g = connected_random_udg(15, 2.6, seed=5)
+        levels = bfs_distances(g, min(g.nodes()))
+        root = _parse(draw_levels(g, levels))
+        texts = root.findall(f"{SVG_NS}text")
+        assert len(texts) == g.num_nodes
+        assert texts[0].text.startswith("(")

@@ -1,0 +1,123 @@
+"""Tests for WCDS definitions, validation, and the result container."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import Graph, paper_figure2_udg
+from repro.wcds import (
+    WCDSResult,
+    black_edges,
+    is_weakly_connected_dominating_set,
+    weakly_induced_subgraph,
+)
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestBlackEdges:
+    def test_black_edges_touch_dominators(self, path_graph):
+        edges = black_edges(path_graph, {2})
+        assert {frozenset(e) for e in edges} == {frozenset({1, 2}), frozenset({2, 3})}
+
+    def test_empty_dominators(self, path_graph):
+        assert black_edges(path_graph, set()) == []
+
+
+class TestWeaklyInducedSubgraph:
+    def test_keeps_all_nodes(self, path_graph):
+        sub = weakly_induced_subgraph(path_graph, {2})
+        assert set(sub.nodes()) == set(path_graph.nodes())
+        assert sub.num_edges == 2
+
+    def test_white_edges_removed(self):
+        # Square 0-1-2-3-0 plus the dominator 0: edges 1-2 and 2-3 are
+        # white (neither endpoint is 0).
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+        sub = weakly_induced_subgraph(g, {0})
+        assert sub.has_edge(0, 1) and sub.has_edge(0, 3)
+        assert not sub.has_edge(1, 2) and not sub.has_edge(2, 3)
+
+
+class TestIsWcds:
+    def test_paper_figure2(self):
+        g = paper_figure2_udg()
+        assert is_weakly_connected_dominating_set(g, {1, 2})
+
+    def test_dominating_but_not_weakly_connected(self):
+        # Two stars with centers 0 and 4, joined only through the gray
+        # path 1-3-5: {0, 4} dominates every node, but the white edges
+        # 1-3 and 3-5 are not in the weakly induced graph, which splits
+        # into the two star components.
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (4, 5), (4, 6), (1, 3), (3, 5)])
+        assert not is_weakly_connected_dominating_set(g, {0, 4})
+        # Adding the connector 3 repairs it.
+        assert is_weakly_connected_dominating_set(g, {0, 3, 4})
+
+    def test_not_dominating(self, path_graph):
+        assert not is_weakly_connected_dominating_set(path_graph, {0})
+
+    def test_whole_vertex_set(self, path_graph):
+        assert is_weakly_connected_dominating_set(
+            path_graph, set(path_graph.nodes())
+        )
+
+    def test_empty_set_on_empty_graph(self):
+        assert is_weakly_connected_dominating_set(Graph(), set())
+
+    def test_empty_set_on_nonempty_graph(self, path_graph):
+        assert not is_weakly_connected_dominating_set(path_graph, set())
+
+    @given(seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_wcds_is_weaker_than_cds(self, seed):
+        # Any CDS is a WCDS (induced connectivity implies weakly
+        # induced connectivity).
+        from repro.baselines import greedy_cds
+
+        g = dense_connected_udg(25, seed)
+        cds = greedy_cds(g)
+        assert is_weakly_connected_dominating_set(g, cds)
+
+
+class TestWCDSResult:
+    def test_union_invariant_enforced(self):
+        with pytest.raises(ValueError):
+            WCDSResult(
+                dominators=frozenset({1, 2, 3}),
+                mis_dominators=frozenset({1}),
+                additional_dominators=frozenset({2}),
+            )
+
+    def test_disjointness_enforced(self):
+        with pytest.raises(ValueError):
+            WCDSResult(
+                dominators=frozenset({1, 2}),
+                mis_dominators=frozenset({1, 2}),
+                additional_dominators=frozenset({2}),
+            )
+
+    def test_size_and_gray_nodes(self, path_graph):
+        result = WCDSResult(
+            dominators=frozenset({1, 3}), mis_dominators=frozenset({1, 3})
+        )
+        assert result.size == 2
+        assert result.gray_nodes(path_graph) == {0, 2, 4}
+
+    def test_spanner_matches_weakly_induced(self, path_graph):
+        result = WCDSResult(
+            dominators=frozenset({1, 3}), mis_dominators=frozenset({1, 3})
+        )
+        spanner = result.spanner(path_graph)
+        assert spanner.num_edges == 4  # every edge touches 1 or 3
+
+    def test_validate_raises_on_bad_set(self, path_graph):
+        result = WCDSResult(
+            dominators=frozenset({0}), mis_dominators=frozenset({0})
+        )
+        with pytest.raises(AssertionError):
+            result.validate(path_graph)
+
+    def test_meta_is_not_compared(self):
+        a = WCDSResult(frozenset({1}), frozenset({1}), meta={"x": 1})
+        b = WCDSResult(frozenset({1}), frozenset({1}), meta={"x": 2})
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for the distributed Wu-Li marking protocol."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines.wu_li_distributed import (
+    WuLiNode,
+    prune_simultaneous,
+    wu_li_distributed,
+)
+from repro.graphs import Graph, is_connected
+from repro.mis import is_dominating_set
+from repro.sim import Simulator, UniformLatency
+
+from tutils import dense_connected_udg, seeds
+
+
+class TestPruneSimultaneous:
+    def test_rule1_subsumed_neighborhood(self):
+        # 1's closed neighborhood {0,1,2} is inside 0's {0,1,2,3}; both
+        # marked, 0 has the lower id -> 1 is pruned.
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3), (1, 2)])
+        marked = {0, 1}
+        assert prune_simultaneous(g, marked) == {0}
+
+    def test_rule2_pair_coverage(self):
+        # Triangle 0-1-2 with pendant nodes on 0 and 1: node 2's open
+        # neighborhood {0,1} is covered by N(0) ∪ N(1); 0 and 1 are
+        # adjacent marked lower ids -> 2 pruned.
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2), (0, 3), (1, 4)])
+        marked = {0, 1, 2}
+        pruned = prune_simultaneous(g, marked)
+        assert 2 not in pruned
+        assert {0, 1} <= pruned
+
+    def test_no_pruning_when_not_covered(self, path_graph):
+        marked = {1, 2, 3}
+        assert prune_simultaneous(path_graph, marked) == marked
+
+    def test_decisions_read_original_marks_only(self):
+        # A chain of subsumptions where sequential pruning could cascade
+        # differently: simultaneous pruning is order-independent.
+        g = Graph(edges=list(itertools.combinations(range(4), 2)))  # K4
+        marked = {0, 1, 2, 3}
+        pruned = prune_simultaneous(g, marked)
+        assert pruned == {0}  # everyone's N[v] ⊆ N[0], only 0 survives
+
+
+class TestDistributedProtocol:
+    @given(seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_produces_cds(self, seed):
+        g = dense_connected_udg(25, seed)
+        cds, _ = wu_li_distributed(g)
+        assert is_dominating_set(g, cds)
+        assert is_connected(g.subgraph(cds))
+
+    @given(seeds)
+    @settings(max_examples=12, deadline=None)
+    def test_matches_centralized_twin(self, seed):
+        g = dense_connected_udg(25, seed)
+        cds, _ = wu_li_distributed(g)
+        sim = Simulator(g, WuLiNode)
+        sim.run()
+        marked = {
+            n for n, res in sim.collect_results().items() if res["marked"]
+        }
+        expected = prune_simultaneous(g, marked)
+        if expected and is_dominating_set(g, expected) and is_connected(
+            g.subgraph(expected)
+        ):
+            assert cds == expected
+
+    @given(seeds)
+    @settings(max_examples=8, deadline=None)
+    def test_asynchrony_does_not_change_result(self, seed):
+        g = dense_connected_udg(20, seed)
+        sync_cds, _ = wu_li_distributed(g)
+        async_cds, _ = wu_li_distributed(g, latency=UniformLatency(seed=seed))
+        assert sync_cds == async_cds
+
+    def test_exactly_two_messages_per_node(self, small_udg):
+        _, stats = wu_li_distributed(small_udg)
+        assert stats.messages_sent == 2 * small_udg.num_nodes
+        assert stats.max_messages_per_node() == 2
+        assert stats.by_kind["HELLO"] == small_udg.num_nodes
+        assert stats.by_kind["MARKED"] == small_udg.num_nodes
+
+    def test_complete_graph_falls_back_to_single_node(self):
+        g = Graph(edges=list(itertools.combinations(range(5), 2)))
+        cds, _ = wu_li_distributed(g)
+        assert cds == {0}
+
+    def test_two_node_graph(self):
+        cds, _ = wu_li_distributed(Graph(edges=[(0, 1)]))
+        assert cds == {0}
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(ValueError):
+            wu_li_distributed(Graph(nodes=[0, 1]))

@@ -1,0 +1,33 @@
+"""Shared strategies and topology helpers for the test suite.
+
+Lives outside conftest.py so the name never collides with the
+benchmarks' conftest when both directories are collected in one run.
+"""
+
+from hypothesis import strategies as st
+
+from repro.graphs import connected_random_udg
+
+#: Seeds drive all randomized topologies: a failing example shrinks to a
+#: reproducible (seed, size) pair instead of an opaque point set.
+seeds = st.integers(min_value=0, max_value=10_000)
+
+#: Node counts for property tests — small enough for exhaustive checks.
+small_sizes = st.integers(min_value=1, max_value=30)
+medium_sizes = st.integers(min_value=2, max_value=60)
+
+#: Coordinates for hand-rolled unit-disk instances.
+coordinates = st.tuples(
+    st.floats(min_value=0.0, max_value=6.0, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=6.0, allow_nan=False, allow_infinity=False),
+)
+position_lists = st.lists(coordinates, min_size=1, max_size=40)
+
+
+def dense_connected_udg(num_nodes: int, seed: int):
+    """A connected random UDG at a density where connectivity is easy.
+
+    The side scales with sqrt(n) to keep average degree around 6-8.
+    """
+    side = max(1.0, (num_nodes / 6.0) ** 0.5 * 1.6)
+    return connected_random_udg(num_nodes, side, seed=seed)
