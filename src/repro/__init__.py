@@ -53,6 +53,7 @@ from repro.routing import (
 )
 from repro.election import elect_leader
 from repro.mobility import MaintainedWCDS, RandomWaypointModel
+from repro.service import BackboneService, ServiceConfig
 
 __version__ = "1.0.0"
 
@@ -89,5 +90,7 @@ __all__ = [
     "elect_leader",
     "MaintainedWCDS",
     "RandomWaypointModel",
+    "BackboneService",
+    "ServiceConfig",
     "__version__",
 ]

@@ -35,9 +35,10 @@ def monte_carlo(
         raise ValueError("no seeds given")
     if processes is None:
         processes = min(multiprocessing.cpu_count(), len(seed_list))
-    if processes <= 1 or len(seed_list) == 1:
-        results = [trial(seed) for seed in seed_list]
-    else:
+    if len(seed_list) > 1:
+        # Checked even on the serial path: a sweep must not pass on a
+        # small machine (processes=1) and fail on a bigger one where
+        # the same call fans out to workers.
         try:
             pickle.dumps(trial)
         except Exception as failure:
@@ -46,6 +47,9 @@ def monte_carlo(
                 "trial must be a picklable top-level function "
                 f"(got {trial!r}: {failure})"
             ) from failure
+    if processes <= 1 or len(seed_list) == 1:
+        results = [trial(seed) for seed in seed_list]
+    else:
         with multiprocessing.Pool(processes) as pool:
             results = pool.map(trial, seed_list)
     samples: Dict[str, List[float]] = {}

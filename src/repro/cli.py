@@ -11,6 +11,8 @@ Usage (installed as ``repro``, or ``python -m repro.cli``):
     repro experiment F3 T11                       # run + verify specific claims
     repro experiment --all --markdown results.md  # full measured report
     repro figures    --outdir figures             # regenerate the figures
+    repro serve      --requests trace.jsonl       # replay through the service
+    repro service-bench --nodes 500               # cached vs rebuild-per-query
 
 Every subcommand builds the same reproducible topology from
 ``--nodes/--side/--seed`` so results can be cross-referenced between
@@ -225,6 +227,155 @@ def cmd_figures(args) -> int:
     return 0
 
 
+def _deployment_side(graph, args) -> float:
+    """The deployment square's side: from --side, or (for --load) the
+    extent of the loaded positions."""
+    if not getattr(args, "load", None):
+        return args.side
+    extent = 0.0
+    for pos in graph.positions.values():
+        extent = max(extent, pos.x, pos.y)
+    return max(extent, 1.0)
+
+
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.mobility import RandomWaypointModel
+    from repro.service import (
+        BackboneService,
+        ServiceConfig,
+        WorkloadConfig,
+        WorkloadGenerator,
+        load_trace,
+        replay,
+    )
+
+    graph = _build(args)
+    try:
+        config = ServiceConfig(
+            rebuild_threshold=args.rebuild_threshold,
+            default_deadline=args.deadline,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service = BackboneService(graph, config)
+    if args.requests:
+        try:
+            requests = load_trace(args.requests)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load trace {args.requests}: {exc}", file=sys.stderr)
+            return 2
+        source = args.requests
+    else:
+        generator = WorkloadGenerator(
+            sorted(graph.nodes(), key=repr),
+            WorkloadConfig(
+                queries=args.queries,
+                zipf_exponent=args.zipf,
+                churn_every=args.churn_every,
+                seed=args.seed,
+            ),
+        )
+        requests = list(generator.requests())
+        source = f"synthetic workload ({args.queries} queries)"
+    mobility = RandomWaypointModel(
+        graph,
+        _deployment_side(graph, args),
+        speed_range=(0.01, 0.05),
+        seed=args.seed,
+    )
+    summary = replay(service, requests, mobility=mobility)
+    print_table(
+        [
+            {
+                "requests": len(requests),
+                "responses": summary.responses,
+                "ok": summary.ok,
+                "errors": summary.errors,
+                "stale": summary.stale,
+                "rejected": summary.rejected,
+                "churn_steps": summary.churn_steps,
+            }
+        ],
+        title=f"Replay of {source}",
+    )
+    print_table(service.metrics.rows(), title="Latency (microseconds)")
+    payload = json.dumps(summary.metrics, indent=2)
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote metrics to {args.metrics}")
+    else:
+        print(payload)
+    return 0
+
+
+def cmd_service_bench(args) -> int:
+    import json
+    import time
+
+    from repro.routing import ClusterheadRouter
+    from repro.service import BackboneService, WorkloadConfig, WorkloadGenerator
+    from repro.wcds import algorithm2_centralized
+
+    graph = _build(args)
+    generator = WorkloadGenerator(
+        sorted(graph.nodes(), key=repr),
+        WorkloadConfig(queries=args.queries, mix=(("route", 1.0),), seed=args.seed),
+    )
+    queries = [(r.src, r.dst) for r in generator.requests()]
+
+    service = BackboneService(graph.copy())
+    started = time.perf_counter()
+    for src, dst in queries:
+        response = service.route(src, dst)
+        assert response.ok, response.error
+    cached_seconds = time.perf_counter() - started
+
+    # Baseline: what every CLI invocation does today — rebuild the
+    # backbone and tables for each query (a sample; it is slow).
+    sample = queries[: min(len(queries), args.baseline_queries)]
+    started = time.perf_counter()
+    for src, dst in sample:
+        result = algorithm2_centralized(graph)
+        router = ClusterheadRouter(graph, result)
+        router.route(src, dst)
+    rebuild_seconds = time.perf_counter() - started
+
+    cached_per_query = cached_seconds / len(queries)
+    rebuild_per_query = rebuild_seconds / len(sample)
+    speedup = rebuild_per_query / cached_per_query if cached_per_query else 0.0
+    print_table(
+        [
+            {
+                "path": "service (cached)",
+                "queries": len(queries),
+                "qps": 1.0 / cached_per_query if cached_per_query else 0.0,
+                "per_query_ms": cached_per_query * 1e3,
+            },
+            {
+                "path": "rebuild per query",
+                "queries": len(sample),
+                "qps": 1.0 / rebuild_per_query if rebuild_per_query else 0.0,
+                "per_query_ms": rebuild_per_query * 1e3,
+            },
+        ],
+        title=f"Service throughput (n={graph.num_nodes}, speedup {speedup:.1f}x)",
+    )
+    print(json.dumps(
+        {
+            "speedup": round(speedup, 2),
+            "cached_qps": round(1.0 / cached_per_query, 2),
+            "rebuild_qps": round(1.0 / rebuild_per_query, 2),
+            "metrics": service.metrics.snapshot(),
+        },
+        indent=2,
+    ))
+    return 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -274,6 +425,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_args(p)
     p.add_argument("--outdir", default="figures")
     p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "serve", help="replay a request trace through the backbone service"
+    )
+    _add_topology_args(p)
+    p.add_argument(
+        "--requests", metavar="FILE",
+        help="JSONL request trace (default: a generated zipfian workload)",
+    )
+    p.add_argument("--queries", type=int, default=500,
+                   help="synthetic workload size when no trace is given")
+    p.add_argument("--churn-every", type=int, default=100,
+                   help="synthetic workload: churn marker every N queries")
+    p.add_argument("--zipf", type=float, default=1.1,
+                   help="zipf exponent of the node popularity distribution")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--rebuild-threshold", type=float, default=0.35,
+                   help="dirtiness fraction that triggers a full rebuild")
+    p.add_argument("--metrics", metavar="FILE",
+                   help="write the metrics JSON here instead of stdout")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "service-bench", help="service throughput: cached vs rebuild-per-query"
+    )
+    _add_topology_args(p)
+    p.add_argument("--queries", type=int, default=300,
+                   help="route queries through the cached service")
+    p.add_argument("--baseline-queries", type=int, default=15,
+                   help="route queries through the rebuild-per-query baseline")
+    p.set_defaults(func=cmd_service_bench)
 
     return parser
 

@@ -1,0 +1,46 @@
+"""Backbone-as-a-service: a long-lived WCDS serving queries under churn.
+
+The package turns the one-shot constructions of :mod:`repro.wcds` into
+a serving runtime: :class:`BackboneService` owns a topology, answers
+``dominator`` / ``route`` / ``backbone`` / ``broadcast_plan`` queries
+from caches, absorbs join / leave / move updates through the 3-hop
+incremental maintenance rules, and records counters plus latency
+histograms for everything it does.  See ``docs/SERVICE.md``.
+"""
+
+from repro.service.cache import BackboneCache, RouteCache, topology_fingerprint
+from repro.service.config import ServiceConfig
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.requests import Request, RequestQueue, Response
+from repro.service.service import BackboneService
+from repro.service.workload import (
+    DEFAULT_MIX,
+    ReplaySummary,
+    WorkloadConfig,
+    WorkloadGenerator,
+    load_trace,
+    replay,
+    save_trace,
+    zipf_weights,
+)
+
+__all__ = [
+    "BackboneCache",
+    "BackboneService",
+    "DEFAULT_MIX",
+    "LatencyHistogram",
+    "ReplaySummary",
+    "Request",
+    "RequestQueue",
+    "Response",
+    "RouteCache",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "load_trace",
+    "replay",
+    "save_trace",
+    "topology_fingerprint",
+    "zipf_weights",
+]

@@ -1,0 +1,165 @@
+"""Caching for the backbone service.
+
+Two caches with different keys and invalidation stories:
+
+* :class:`BackboneCache` is **content-addressed**: the key is a
+  fingerprint of the topology itself (radius + every node position), so
+  a backbone computed for a topology is valid for *any* service holding
+  an identical topology, and a node that moves and moves back re-hits
+  the old entry.
+* :class:`RouteCache` is an LRU over ``(src, dst)`` pairs whose entries
+  are invalidated **by region**: a topology event at node ``v`` only
+  evicts routes whose path passes within a configurable hop radius of
+  ``v`` — routes through untouched parts of the network survive churn.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.graphs.graph import Graph
+from repro.graphs.udg import UnitDiskGraph
+from repro.wcds.base import WCDSResult
+
+RouteKey = Tuple[Hashable, Hashable]
+
+
+def topology_fingerprint(udg: UnitDiskGraph) -> str:
+    """A content hash of a unit-disk topology.
+
+    Covers the radius and every ``(id, x, y)`` triple in a canonical
+    order; the edge set is derived from these, so two graphs with equal
+    fingerprints have identical backbones.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(udg.radius).encode())
+    for node, pos in sorted(udg.positions.items(), key=lambda kv: repr(kv[0])):
+        digest.update(f"|{node!r}:{pos.x!r},{pos.y!r}".encode())
+    return digest.hexdigest()
+
+
+class BackboneCache:
+    """LRU of topology fingerprint -> :class:`WCDSResult`."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, WCDSResult]" = OrderedDict()
+
+    def get(self, fingerprint: str) -> Optional[WCDSResult]:
+        """The cached backbone for ``fingerprint``, refreshing recency."""
+        result = self._entries.get(fingerprint)
+        if result is not None:
+            self._entries.move_to_end(fingerprint)
+        return result
+
+    def put(self, fingerprint: str, result: WCDSResult) -> None:
+        """Store a backbone, evicting the least-recently-used past
+        capacity."""
+        self._entries[fingerprint] = result
+        self._entries.move_to_end(fingerprint)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+
+class RouteCache:
+    """LRU route cache with by-region invalidation.
+
+    Every cached path registers all its nodes in an inverted index, so
+    ``invalidate_region`` evicts exactly the routes whose realization
+    passes near a topology event — O(evicted), not O(cache).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._paths: "OrderedDict[RouteKey, Tuple[Hashable, ...]]" = OrderedDict()
+        self._by_node: Dict[Hashable, Set[RouteKey]] = {}
+
+    def __len__(self) -> int:
+        return len(self._paths)
+
+    def get(self, src: Hashable, dst: Hashable) -> Optional[List[Hashable]]:
+        """The cached path ``src -> dst`` (a fresh list), or None."""
+        key = (src, dst)
+        path = self._paths.get(key)
+        if path is None:
+            # A route is symmetric under reversal: reuse dst -> src.
+            reverse = self._paths.get((dst, src))
+            if reverse is None:
+                return None
+            self._paths.move_to_end((dst, src))
+            return list(reversed(reverse))
+        self._paths.move_to_end(key)
+        return list(path)
+
+    def put(self, src: Hashable, dst: Hashable, path: Iterable[Hashable]) -> None:
+        """Cache a path and index its nodes for invalidation."""
+        key = (src, dst)
+        stored = tuple(path)
+        if key in self._paths:
+            self._drop(key)
+        self._paths[key] = stored
+        for node in stored:
+            self._by_node.setdefault(node, set()).add(key)
+        while len(self._paths) > self.capacity:
+            oldest, _ = next(iter(self._paths.items())), None
+            self._drop(oldest[0])
+
+    def _drop(self, key: RouteKey) -> None:
+        path = self._paths.pop(key, None)
+        if path is None:
+            return
+        for node in path:
+            keys = self._by_node.get(node)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._by_node[node]
+
+    def invalidate_nodes(self, nodes: Iterable[Hashable]) -> int:
+        """Evict every route whose path touches any of ``nodes``."""
+        doomed: Set[RouteKey] = set()
+        for node in nodes:
+            doomed.update(self._by_node.get(node, ()))
+        for key in doomed:
+            self._drop(key)
+        return len(doomed)
+
+    def invalidate_region(
+        self, graph: Graph, seeds: Iterable[Hashable], radius: int
+    ) -> int:
+        """Evict routes passing within ``radius`` hops of any seed.
+
+        Seeds no longer present in ``graph`` (a departed node) still
+        invalidate routes through themselves.
+        """
+        region: Set[Hashable] = set()
+        for seed in seeds:
+            region.add(seed)
+            if seed not in graph:
+                continue
+            frontier = {seed}
+            for _ in range(radius):
+                next_frontier: Set[Hashable] = set()
+                for node in frontier:
+                    next_frontier.update(graph.adjacency(node))
+                next_frontier -= region
+                region.update(next_frontier)
+                frontier = next_frontier
+        return self.invalidate_nodes(region)
+
+    def clear(self) -> None:
+        """Drop everything (used after a full rebuild)."""
+        self._paths.clear()
+        self._by_node.clear()

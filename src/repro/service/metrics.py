@@ -1,0 +1,162 @@
+"""Service instrumentation: counters and latency histograms.
+
+The service records every request in a fixed-bucket geometric histogram
+(no per-sample storage, O(1) observe, deterministic memory) and keeps
+plain counters for cache traffic and maintenance work.  Quantiles are
+interpolated inside the matching bucket, which is accurate to the
+bucket growth factor — plenty for p50/p95/p99 dashboards.
+
+Everything exports as a plain dict (:meth:`ServiceMetrics.snapshot`),
+JSON (:meth:`ServiceMetrics.to_json`), or rows for the repo's table
+printer (:meth:`ServiceMetrics.rows`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Mapping, Optional
+
+#: Histogram bucket layout: geometric from 1 microsecond, factor 2.
+_LOWEST = 1e-6
+_FACTOR = 2.0
+_BUCKETS = 40  # covers up to ~1e-6 * 2^40 s, far beyond any request
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over seconds, with interpolated quantiles."""
+
+    __slots__ = ("counts", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (_BUCKETS + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample (seconds; negatives clamp to 0)."""
+        seconds = max(0.0, float(seconds))
+        self.count += 1
+        self.total += seconds
+        self.min = seconds if self.min is None else min(self.min, seconds)
+        self.max = seconds if self.max is None else max(self.max, seconds)
+        index = 0
+        bound = _LOWEST
+        while seconds > bound and index < _BUCKETS:
+            bound *= _FACTOR
+            index += 1
+        self.counts[index] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all samples (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1), interpolated in-bucket."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count >= rank:
+                upper = _LOWEST * (_FACTOR ** index)
+                lower = 0.0 if index == 0 else upper / _FACTOR
+                fraction = (rank - seen) / bucket_count
+                value = lower + fraction * (upper - lower)
+                # Clamp into the observed range so tiny sample counts
+                # never report below min or above max.
+                value = max(value, self.min or 0.0)
+                return min(value, self.max if self.max is not None else value)
+            seen += bucket_count
+        return self.max or 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / min / p50 / p95 / p99 / max, all in seconds."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min or 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max or 0.0,
+        }
+
+
+class ServiceMetrics:
+    """All counters and histograms of one service instance."""
+
+    def __init__(self) -> None:
+        self.counters: Counter = Counter()
+        self.latency: Dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump counter ``name`` (created on first use)."""
+        self.counters[name] += amount
+
+    def observe(self, operation: str, seconds: float) -> None:
+        """Record one request latency under ``operation``."""
+        histogram = self.latency.get(operation)
+        if histogram is None:
+            histogram = self.latency[operation] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    def hit_rate(self, cache: str) -> float:
+        """``<cache>_hits / (<cache>_hits + <cache>_misses)`` (0 if cold)."""
+        hits = self.counters[f"{cache}_hits"]
+        misses = self.counters[f"{cache}_misses"]
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view: counters, hit rates, latency summaries."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "hit_rates": {
+                cache: round(self.hit_rate(cache), 4)
+                for cache in ("route_cache", "backbone_cache")
+            },
+            "latency_seconds": {
+                operation: {
+                    key: (value if key == "count" else round(value, 9))
+                    for key, value in histogram.summary().items()
+                }
+                for operation, histogram in sorted(self.latency.items())
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot serialized as JSON."""
+        return json.dumps(self.snapshot(), indent=indent)
+
+    def rows(self) -> List[Mapping[str, object]]:
+        """Latency summary rows for :func:`repro.analysis.print_table`."""
+        rows: List[Mapping[str, object]] = []
+        for operation, histogram in sorted(self.latency.items()):
+            summary = histogram.summary()
+            rows.append(
+                {
+                    "operation": operation,
+                    "count": summary["count"],
+                    "mean_us": summary["mean"] * 1e6,
+                    "p50_us": summary["p50"] * 1e6,
+                    "p95_us": summary["p95"] * 1e6,
+                    "p99_us": summary["p99"] * 1e6,
+                }
+            )
+        return rows

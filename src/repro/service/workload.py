@@ -1,0 +1,202 @@
+"""Workload generation and trace replay for the backbone service.
+
+Real query traffic is skewed — a few popular destinations absorb most
+routes — so the generator draws nodes from a **zipfian** popularity
+distribution (exponent ``zipf_exponent``; popularity order is a seeded
+shuffle of the node ids, decoupling popularity from id order).  Query
+kinds are mixed by configurable weights, and a **churn** marker is
+interleaved every ``churn_every`` queries; at replay time each marker
+advances a mobility model from :mod:`repro.mobility` and feeds the
+resulting link events to the service.
+
+Traces serialize to JSONL (one request per line) so a workload can be
+recorded once and replayed with ``repro serve --requests trace.jsonl``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.service.requests import Request, Response
+from repro.service.service import BackboneService
+
+#: Default query mix: routing dominates, interleaved with clusterhead
+#: lookups, full-backbone pulls, and broadcast planning.
+DEFAULT_MIX: Tuple[Tuple[str, float], ...] = (
+    ("route", 0.60),
+    ("dominator", 0.25),
+    ("broadcast_plan", 0.10),
+    ("backbone", 0.05),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of a generated workload."""
+
+    queries: int = 1000
+    zipf_exponent: float = 1.1
+    mix: Tuple[Tuple[str, float], ...] = DEFAULT_MIX
+    #: Insert one churn marker every this many queries (0 = no churn).
+    churn_every: int = 0
+    #: Mobility steps per churn marker.
+    churn_steps: int = 1
+    #: Deadline attached to every query (seconds; None = unbounded).
+    deadline: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queries < 0:
+            raise ValueError("queries must be non-negative")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if not self.mix or any(weight <= 0 for _, weight in self.mix):
+            raise ValueError("mix must be non-empty with positive weights")
+        if self.churn_every < 0 or self.churn_steps < 1:
+            raise ValueError("churn_every >= 0 and churn_steps >= 1 required")
+
+
+def zipf_weights(count: int, exponent: float) -> List[float]:
+    """Unnormalized zipf weights ``1 / rank^exponent`` for ranks 1..n."""
+    return [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+
+
+class WorkloadGenerator:
+    """Generates a reproducible request stream over a fixed node set."""
+
+    def __init__(self, nodes: Sequence[Hashable], config: WorkloadConfig) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        self.config = config
+        self._rng = random.Random(config.seed)
+        ranked = list(nodes)
+        self._rng.shuffle(ranked)  # popularity decoupled from id order
+        self._ranked = ranked
+        weights = zipf_weights(len(ranked), config.zipf_exponent)
+        self._cum_weights = []
+        total = 0.0
+        for weight in weights:
+            total += weight
+            self._cum_weights.append(total)
+        self._ops = [op for op, _ in config.mix]
+        self._op_cum = []
+        total = 0.0
+        for _, weight in config.mix:
+            total += weight
+            self._op_cum.append(total)
+
+    def _pick_node(self) -> Hashable:
+        return self._rng.choices(self._ranked, cum_weights=self._cum_weights)[0]
+
+    def _pick_op(self) -> str:
+        return self._rng.choices(self._ops, cum_weights=self._op_cum)[0]
+
+    def requests(self) -> Iterator[Request]:
+        """Yield the workload's requests in replay order."""
+        config = self.config
+        for index in range(config.queries):
+            if config.churn_every and index and index % config.churn_every == 0:
+                yield Request(op="churn", steps=config.churn_steps)
+            op = self._pick_op()
+            if op == "route":
+                src = self._pick_node()
+                dst = self._pick_node()
+                while dst == src and len(self._ranked) > 1:
+                    dst = self._pick_node()
+                yield Request(op="route", src=src, dst=dst,
+                              deadline=config.deadline)
+            elif op == "dominator":
+                yield Request(op="dominator", node=self._pick_node(),
+                              deadline=config.deadline)
+            elif op == "broadcast_plan":
+                yield Request(op="broadcast_plan", source=self._pick_node(),
+                              deadline=config.deadline)
+            else:
+                yield Request(op="backbone", deadline=config.deadline)
+
+
+# ----------------------------------------------------------------------
+# Trace persistence (JSONL)
+# ----------------------------------------------------------------------
+def save_trace(requests: Iterable[Request], path: str) -> int:
+    """Write requests as JSONL; returns the number written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for request in requests:
+            handle.write(json.dumps(request.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> List[Request]:
+    """Read a JSONL trace written by :func:`save_trace`."""
+    requests = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                requests.append(Request.from_dict(json.loads(line)))
+    return requests
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclass
+class ReplaySummary:
+    """Aggregate outcome of one replay."""
+
+    responses: int = 0
+    ok: int = 0
+    errors: int = 0
+    stale: int = 0
+    rejected: int = 0
+    churn_steps: int = 0
+    metrics: Dict[str, object] = field(default_factory=dict)
+    collected: List[Response] = field(default_factory=list)
+
+
+def replay(
+    service: BackboneService,
+    requests: Iterable[Request],
+    *,
+    mobility=None,
+    collect_responses: bool = False,
+) -> ReplaySummary:
+    """Feed a request stream through a service's bounded queue.
+
+    Queries and updates are enqueued and drained in order; ``churn``
+    markers step ``mobility`` (any :class:`repro.mobility.models.MobilityModel`
+    attached to ``service.graph``) and feed the link events to the
+    service.  Without a mobility model, churn markers are skipped.
+    """
+    summary = ReplaySummary()
+
+    def _drain() -> None:
+        for response in service.drain():
+            summary.responses += 1
+            summary.ok += response.ok
+            summary.errors += not response.ok
+            summary.stale += response.stale
+            if collect_responses:
+                summary.collected.append(response)
+
+    for request in requests:
+        if request.op == "churn":
+            _drain()  # keep ordering: queued queries see pre-churn state
+            if mobility is None:
+                continue
+            for _ in range(request.steps):
+                service.ingest_events(mobility.step())
+                summary.churn_steps += 1
+            continue
+        if not service.enqueue(request):
+            summary.rejected += 1
+            _drain()  # make room, then retry once
+            service.enqueue(request)
+    _drain()
+    summary.metrics = service.metrics.snapshot()
+    return summary

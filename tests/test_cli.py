@@ -92,6 +92,90 @@ class TestCommands:
     def test_experiment_unknown_id(self, capsys):
         assert main(["experiment", "ZZZ"]) == 2
 
+    def test_load_round_trip(self, capsys, tmp_path):
+        # Save a deployment, then answer from the file: the loaded
+        # topology must be bit-identical (same nodes, edges, backbone).
+        path = str(tmp_path / "topo.json")
+        code, out = self._run(
+            ["topology", "--nodes", "30", "--side", "4", "--save", path], capsys
+        )
+        assert code == 0 and "saved topology" in out
+
+        code, out = self._run(["topology", "--load", path], capsys)
+        assert code == 0 and "30" in out
+
+        code, out = self._run(["wcds", "--load", path, "--list"], capsys)
+        assert code == 0 and "dominators:" in out
+
+        from repro.graphs import connected_random_udg, load_topology
+        from repro.wcds import algorithm2_distributed
+
+        original = connected_random_udg(30, 4.0, seed=7)  # the CLI defaults
+        loaded = load_topology(path)
+        assert sorted(original.nodes()) == sorted(loaded.nodes())
+        assert {frozenset(e) for e in original.edges()} == {
+            frozenset(e) for e in loaded.edges()
+        }
+        expected = algorithm2_distributed(loaded).dominators
+        printed = {
+            int(token) for token in out.split("dominators:")[1].split()
+        }
+        assert printed == set(expected)
+
+    def test_serve_synthetic_workload(self, capsys, tmp_path):
+        metrics_path = str(tmp_path / "metrics.json")
+        code, out = self._run(
+            [
+                "serve", "--nodes", "40", "--side", "4.5",
+                "--queries", "60", "--churn-every", "20",
+                "--metrics", metrics_path,
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "Replay of synthetic workload" in out
+        import json
+
+        with open(metrics_path, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+        assert set(metrics) == {"counters", "hit_rates", "latency_seconds"}
+        assert metrics["counters"]["requests_total"] >= 60
+
+    def test_serve_replays_trace_file(self, capsys, tmp_path):
+        from repro.graphs import connected_random_udg
+        from repro.service import WorkloadConfig, WorkloadGenerator, save_trace
+
+        graph = connected_random_udg(30, 4.0, seed=7)  # the CLI defaults
+        generator = WorkloadGenerator(
+            sorted(graph.nodes()),
+            WorkloadConfig(queries=40, churn_every=10, seed=3),
+        )
+        trace = str(tmp_path / "trace.jsonl")
+        written = save_trace(generator.requests(), trace)
+        code, out = self._run(
+            ["serve", "--nodes", "30", "--side", "4", "--requests", trace],
+            capsys,
+        )
+        assert code == 0
+        assert f"Replay of {trace}" in out
+        assert '"counters"' in out  # metrics JSON on stdout
+        assert written > 40  # queries plus churn markers
+
+    def test_service_bench(self, capsys):
+        code, out = self._run(
+            [
+                "service-bench", "--nodes", "40", "--side", "4.5",
+                "--queries", "30", "--baseline-queries", "2",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "service (cached)" in out and "rebuild per query" in out
+        import json
+
+        payload = json.loads(out[out.index("{"):])
+        assert payload["speedup"] > 1.0
+
     def test_figures(self, capsys, tmp_path):
         outdir = str(tmp_path / "figs")
         code, out = self._run(

@@ -46,6 +46,18 @@ class TestMonteCarlo:
         result = monte_carlo(_trial, [3])
         assert result["x"].count == 1
 
+    def test_unpicklable_trial_rejected_even_serially(self):
+        # Regression: processes=1 used to skip the picklability check,
+        # so a sweep could pass on a laptop and fail on a bigger
+        # machine where the same call fans out to worker processes.
+        with pytest.raises(TypeError, match="picklable"):
+            monte_carlo(lambda seed: {"x": seed}, range(4), processes=1)
+
+    def test_unpicklable_single_seed_still_allowed(self):
+        # One seed never parallelizes anywhere, so a lambda is fine.
+        result = monte_carlo(lambda seed: {"x": seed}, [5], processes=1)
+        assert result["x"].mean == 5.0
+
     def test_real_workload_parallel(self):
         result = monte_carlo(_wcds_trial, range(4), processes=2)
         assert result["size"].minimum >= result["mis"].minimum

@@ -204,6 +204,66 @@ class TestFaultInjection:
         assert sim.neighbor_ids(0) == frozenset({1, 2})
 
 
+class TestCrashLossInteraction:
+    """Crash + loss corner cases: in-flight deliveries from a crashed
+    sender, the loss_rate = 0.0 boundary, and counter consistency."""
+
+    def test_crashed_sender_inflight_delivery_still_arrives(self):
+        # 0 - 1 - 2 chain: node 0 transmits, then crashes while its
+        # message is still in the event queue.  The radio wave is
+        # already in the air, so 1 must still hear it and the flood
+        # continues; only *future* sends from 0 are suppressed.
+        g = line_udg(3)
+        sim = Simulator(g, lambda ctx: Relay(ctx, origin=0))
+        sim.run(until=0.5)  # send happened at t=0; delivery is at t=1
+        assert sim.stats.messages_sent == 1 and sim.stats.deliveries == 0
+        sim.crash_node(0)
+        sim.run()
+        results = sim.collect_results()
+        assert results[1]["got"] and results[2]["got"]
+        # 1's and 2's rebroadcasts happened; deliveries to dead 0 were
+        # skipped silently (neither delivered nor counted as dropped).
+        assert sim.stats.messages_sent == 3
+        assert sim.stats.deliveries == 3  # 0->1, 1->2, 2->1
+        assert sim.stats.dropped == 0
+
+    def test_loss_rate_zero_boundary_is_lossless_and_deterministic(self):
+        g = triangle()
+        _, baseline = run_protocol(g, Beacon)
+        _, lossless = run_protocol(g, Beacon, loss_rate=0.0, seed=123)
+        assert lossless.dropped == 0
+        assert lossless.deliveries == baseline.deliveries == 6
+        assert lossless.messages_sent == baseline.messages_sent == 3
+        assert lossless.finish_time == baseline.finish_time
+
+    def test_counters_consistent_under_crash_and_loss(self):
+        # Every potential delivery is exactly one of: delivered,
+        # dropped by loss, or skipped because an endpoint was dead.
+        g = triangle()
+        sim = Simulator(g, Beacon, loss_rate=0.5, seed=11)
+        sim.crash_node(2)  # crashed before start: sends and receives nothing
+        stats = sim.run()
+        assert stats.messages_sent == 2  # only 0 and 1 transmit
+        assert sum(stats.by_node.values()) == stats.messages_sent
+        assert sum(stats.by_kind.values()) == stats.messages_sent
+        # Each live transmission has one live receiver (the other live
+        # node); the delivery to dead 2 is skipped without a counter.
+        assert stats.deliveries + stats.dropped == 2
+        assert stats.events_processed >= stats.deliveries
+
+    def test_crash_between_send_and_delivery_with_loss(self):
+        # loss applies at transmit time, so a delivery that survived
+        # the coin flip is not re-dropped when the *sender* crashes.
+        g = Graph(edges=[(0, 1)])
+        sim = Simulator(g, Beacon, loss_rate=0.0, seed=5)
+        sim.run(until=0.25)
+        sim.crash_node(0)
+        stats = sim.run()
+        assert stats.messages_sent == 2  # both transmitted at t=0
+        assert stats.deliveries == 1  # 0's message reaches 1; 0 is dead
+        assert stats.dropped == 0
+
+
 class TestRunControls:
     def test_run_until_pauses_and_resumes(self):
         g = line_udg(10)
