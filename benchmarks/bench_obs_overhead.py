@@ -1,0 +1,77 @@
+"""Telemetry overhead — instrumented vs plain Algorithm I at n=500.
+
+The obs layer promises to be cheap enough to leave on: the null-span
+fast path costs nothing measurable, and a live tracer plus registry
+must stay under 10% on a full Algorithm I run. Each timing round runs
+both variants back to back and the overhead is the median paired ratio
+— consecutive runs see near-identical machine conditions, so pairing
+cancels load drift that independent best-of-N minima (at ~70ms per
+run) do not, and the median discards the odd round a scheduler stall
+lands inside.
+"""
+
+from bench_utils import run_once, show
+from repro.graphs import connected_random_udg
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.cost import _density_side
+from repro.wcds import algorithm1_distributed
+
+N = 500
+REPEATS = 15
+MAX_OVERHEAD = 0.10
+
+
+def _paired_rounds(repeats, plain, instrumented):
+    """(plain, instrumented) wall times for ``repeats`` back-to-back
+    rounds."""
+    import time
+
+    rounds = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        plain()
+        mid = time.perf_counter()
+        instrumented()
+        rounds.append((mid - start, time.perf_counter() - mid))
+    return rounds
+
+
+def _measure():
+    graph = connected_random_udg(N, _density_side(N), seed=7)
+
+    def plain():
+        algorithm1_distributed(graph)
+
+    def instrumented():
+        algorithm1_distributed(
+            graph, tracer=Tracer(), registry=MetricsRegistry()
+        )
+
+    plain()  # warm both code paths before timing
+    instrumented()
+    rounds = _paired_rounds(REPEATS, plain, instrumented)
+    import statistics
+
+    base = min(base for base, _ in rounds)
+    instr = min(instr for _, instr in rounds)
+    overhead = statistics.median(i / b for b, i in rounds) - 1.0
+    return [
+        {
+            "variant": "plain",
+            "best_seconds": round(base, 5),
+            "overhead": "-",
+        },
+        {
+            "variant": "tracer+registry",
+            "best_seconds": round(instr, 5),
+            "overhead": f"{overhead:+.1%}",
+        },
+    ], overhead
+
+
+def test_instrumentation_overhead_under_ten_percent(benchmark):
+    rows, overhead = run_once(benchmark, _measure)
+    show(f"obs overhead, Algorithm I at n={N} (best of {REPEATS})", rows)
+    assert overhead < MAX_OVERHEAD, (
+        f"instrumentation overhead {overhead:.1%} exceeds {MAX_OVERHEAD:.0%}"
+    )

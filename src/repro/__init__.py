@@ -53,6 +53,14 @@ from repro.routing import (
 )
 from repro.election import elect_leader
 from repro.mobility import MaintainedWCDS, RandomWaypointModel
+from repro.obs import (
+    MessageCostReport,
+    MetricsRegistry,
+    Tracer,
+    get_tracer,
+    measure_message_costs,
+    set_tracer,
+)
 from repro.service import BackboneService, ServiceConfig
 
 __version__ = "1.0.0"
@@ -92,5 +100,11 @@ __all__ = [
     "RandomWaypointModel",
     "BackboneService",
     "ServiceConfig",
+    "MessageCostReport",
+    "MetricsRegistry",
+    "Tracer",
+    "get_tracer",
+    "measure_message_costs",
+    "set_tracer",
     "__version__",
 ]

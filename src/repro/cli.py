@@ -13,6 +13,11 @@ Usage (installed as ``repro``, or ``python -m repro.cli``):
     repro figures    --outdir figures             # regenerate the figures
     repro serve      --requests trace.jsonl       # replay through the service
     repro service-bench --nodes 500               # cached vs rebuild-per-query
+    repro obs-report --algorithm 1                # message costs vs Theorem 12
+
+Commands that construct backbones or serve requests accept
+``--telemetry json|prom|jsonl`` (plus ``--telemetry-out FILE``) to
+export the run's metrics registry in that format.
 
 Every subcommand builds the same reproducible topology from
 ``--nodes/--side/--seed`` so results can be cross-referenced between
@@ -52,12 +57,62 @@ def _build(args) -> "UnitDiskGraph":
     return connected_random_udg(args.nodes, args.side, seed=args.seed)
 
 
-def _run_algorithm(graph, which: str):
+def _run_algorithm(graph, which: str, tracer=None, registry=None):
     if which == "1":
-        return algorithm1_distributed(graph)
+        return algorithm1_distributed(graph, tracer=tracer, registry=registry)
     if which == "2":
-        return algorithm2_distributed(graph)
+        return algorithm2_distributed(graph, tracer=tracer, registry=registry)
     raise SystemExit(f"unknown algorithm {which!r} (expected 1 or 2)")
+
+
+# ----------------------------------------------------------------------
+# Telemetry export
+# ----------------------------------------------------------------------
+def _add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", choices=["json", "prom", "jsonl"],
+        help="export the run's metrics registry in this format",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="FILE",
+        help="write/append the telemetry here instead of stdout",
+    )
+
+
+def _emit_telemetry(args, registry, tracer=None, **extra) -> None:
+    """Export ``registry`` (and optionally the span tree) as requested
+    by ``--telemetry`` / ``--telemetry-out``."""
+    import json
+
+    fmt = getattr(args, "telemetry", None)
+    if not fmt:
+        return
+    out = getattr(args, "telemetry_out", None)
+    if fmt == "jsonl":
+        if tracer is not None and tracer.enabled:
+            extra["spans"] = tracer.to_dict()["spans"]
+        if out:
+            registry.write_jsonl(out, **extra)
+            print(f"appended telemetry to {out}")
+            return
+        record = dict(extra)
+        record["metrics"] = registry.snapshot()
+        print(json.dumps(record, sort_keys=True))
+        return
+    if fmt == "prom":
+        payload = registry.prometheus_text()
+    else:
+        record = dict(extra)
+        record["metrics"] = registry.snapshot()
+        if tracer is not None and tracer.enabled:
+            record["spans"] = tracer.to_dict()["spans"]
+        payload = json.dumps(record, indent=2)
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write(payload if payload.endswith("\n") else payload + "\n")
+        print(f"wrote telemetry to {out}")
+    else:
+        print(payload)
 
 
 # ----------------------------------------------------------------------
@@ -81,7 +136,12 @@ def cmd_topology(args) -> int:
 
 def cmd_wcds(args) -> int:
     graph = _build(args)
-    result = _run_algorithm(graph, args.algorithm)
+    tracer = registry = None
+    if args.telemetry:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer, registry = Tracer(), MetricsRegistry()
+    result = _run_algorithm(graph, args.algorithm, tracer, registry)
     result.validate(graph)
     messages = (
         result.meta["total_messages"]
@@ -105,6 +165,9 @@ def cmd_wcds(args) -> int:
     )
     if args.list:
         print("dominators:", " ".join(map(str, sorted(result.dominators))))
+    if registry is not None:
+        _emit_telemetry(args, registry, tracer,
+                        command="wcds", algorithm=args.algorithm)
     return 0
 
 
@@ -309,6 +372,7 @@ def cmd_serve(args) -> int:
         print(f"wrote metrics to {args.metrics}")
     else:
         print(payload)
+    _emit_telemetry(args, service.metrics.registry, command="serve")
     return 0
 
 
@@ -376,6 +440,54 @@ def cmd_service_bench(args) -> int:
     return 0
 
 
+def cmd_obs_report(args) -> int:
+    from repro.obs import MetricsRegistry, Tracer, measure_message_costs
+
+    if not args.telemetry:
+        args.telemetry = "json"  # a report always emits
+    try:
+        sizes = sorted(int(item) for item in args.sizes.split(","))
+    except ValueError:
+        print(f"error: --sizes must be a comma list of ints, got {args.sizes!r}",
+              file=sys.stderr)
+        return 2
+    if any(n <= 0 for n in sizes) or not sizes:
+        print("error: --sizes entries must be positive", file=sys.stderr)
+        return 2
+    tracer, registry = Tracer(), MetricsRegistry()
+    report = measure_message_costs(
+        args.algorithm, sizes, seed=args.seed, slack=args.slack,
+        tracer=tracer, registry=registry,
+    )
+    bound = "n*log2(n)" if args.algorithm == "1" else "n"
+    print_table(
+        report.rows(),
+        title=(
+            f"Algorithm {args.algorithm} message costs vs Theorem 12 "
+            f"envelope ({bound}, slack {args.slack})"
+        ),
+    )
+    phase_rows = []
+    for root in tracer.find(f"algorithm{args.algorithm}"):
+        for child in root.children:
+            phase_rows.append(
+                {
+                    "n": root.attrs.get("n"),
+                    "phase": child.name,
+                    "messages": child.attrs.get("messages", 0),
+                    "wall_ms": round(child.duration * 1e3, 2),
+                }
+            )
+    if phase_rows:
+        print_table(phase_rows, title="Per-phase spans")
+    verdict = "within envelope" if report.ok else "ENVELOPE VIOLATED"
+    print(f"message exponent {report.message_exponent:.3f} "
+          f"(limit {report.to_dict()['exponent_limit']}): {verdict}")
+    _emit_telemetry(args, registry, tracer,
+                    command="obs-report", report=report.to_dict())
+    return 0 if report.ok else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -397,6 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_args(p)
     p.add_argument("--algorithm", choices=["1", "2"], default="2")
     p.add_argument("--list", action="store_true", help="print the dominator ids")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_wcds)
 
     p = sub.add_parser("route", help="route a packet over the backbone")
@@ -446,6 +559,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dirtiness fraction that triggers a full rebuild")
     p.add_argument("--metrics", metavar="FILE",
                    help="write the metrics JSON here instead of stdout")
+    _add_telemetry_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -457,6 +571,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline-queries", type=int, default=15,
                    help="route queries through the rebuild-per-query baseline")
     p.set_defaults(func=cmd_service_bench)
+
+    p = sub.add_parser(
+        "obs-report",
+        help="measure per-phase message costs against the Theorem 12 "
+        "envelopes (exit 1 on violation)",
+    )
+    p.add_argument("--algorithm", choices=["1", "2"], default="1")
+    p.add_argument("--sizes", default="100,200,400",
+                   help="comma list of network sizes to sweep")
+    p.add_argument("--seed", type=int, default=7, help="random seed")
+    p.add_argument("--slack", type=float, default=1.75,
+                   help="headroom factor over the calibrated envelope")
+    _add_telemetry_args(p)
+    p.set_defaults(func=cmd_obs_report)
 
     return parser
 

@@ -125,17 +125,20 @@ def elect_leader(
     *,
     latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    registry=None,
 ) -> ElectionResult:
     """Run the election protocol to quiescence on a connected graph.
 
     Returns the elected leader (the minimum node id), the spanning-tree
-    parent/children pointers, and the run's message statistics.
+    parent/children pointers, and the run's message statistics.  A
+    ``registry`` (:class:`repro.obs.MetricsRegistry`) additionally
+    receives per-kind ``sim_messages_total`` counters.
     """
     if graph.num_nodes == 0:
         raise ValueError("cannot elect a leader of an empty graph")
     if not is_connected(graph):
         raise ValueError("leader election requires a connected graph")
-    sim = Simulator(graph, ElectionNode, latency=latency, seed=seed)
+    sim = Simulator(graph, ElectionNode, latency=latency, seed=seed, registry=registry)
     stats = sim.run()
     results = sim.collect_results()
     leaders = {res["leader"] for res in results.values()}

@@ -106,17 +106,21 @@ def distributed_mis(
     *,
     latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    registry=None,
 ) -> Tuple[Set[Hashable], SimStats]:
     """Run the marking protocol; returns ``(MIS, stats)``.
 
     Defaults to id ranking (Algorithm II's MIS phase).  The result is
-    guaranteed equal to ``greedy_mis(graph, ranking)``.
+    guaranteed equal to ``greedy_mis(graph, ranking)``.  A ``registry``
+    (:class:`repro.obs.MetricsRegistry`) receives per-kind message
+    counters.
     """
     if ranking is None:
         ranking = id_ranking(graph)
     validate_ranking(graph, ranking)
     sim = Simulator(
-        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed
+        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed,
+        registry=registry,
     )
     stats = sim.run()
     results = sim.collect_results()

@@ -1,0 +1,302 @@
+"""Message-cost accounting against the paper's complexity envelopes.
+
+Theorem 12 bounds Algorithm II at O(n) messages and O(n) time; §4.1
+puts Algorithm I at O(n log n) messages (the election dominates) and
+O(n) time.  :func:`measure_message_costs` runs an algorithm across a
+size sweep at fixed deployment density and returns a
+:class:`MessageCostReport` that
+
+* calibrates the envelope constant ``c`` on the smallest size, then
+  checks every measured total against ``slack * c * bound(n)``
+  (``bound(n) = n log2 n`` messages for Algorithm I, ``n`` for
+  Algorithm II, ``n`` time for both);
+* fits the growth exponent by log-log least squares and flags
+  super-linearity — an exponent materially above the theoretical
+  curve's own slope means a regression no constant can hide;
+* carries per-phase message/round splits so a blow-up is attributable
+  (election vs level calculation vs marking, marking vs dominator
+  lists vs selection).
+
+The report exports as rows for the table printer, a plain dict/JSON,
+or gauges registered into a :class:`~repro.obs.registry.MetricsRegistry`
+(and thence Prometheus text) — the ``repro obs-report`` CLI command
+wraps exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer, get_tracer
+
+#: Log-log slope of n·log2(n) over a 100→400 sweep is ~1.2; a measured
+#: exponent beyond these limits cannot be the theoretical curve.
+EXPONENT_LIMITS = {"1": 1.45, "2": 1.30}
+
+#: Headroom over the calibrated constant before a size is flagged.
+DEFAULT_SLACK = 1.75
+
+
+def annotate_phase(span, registry, algorithm: str, phase: str, stats) -> None:
+    """Record one protocol phase's totals on its span and registry.
+
+    ``stats`` is a :class:`~repro.sim.stats.SimStats` (or anything with
+    ``messages_sent`` and ``finish_time``).  Works with the null span
+    and a ``None`` registry, so instrumented code calls it
+    unconditionally.
+    """
+    span.set_attr("messages", stats.messages_sent)
+    span.set_attr("rounds", stats.finish_time)
+    if registry is not None:
+        labels = {"algorithm": algorithm, "phase": phase}
+        registry.counter(
+            "protocol_phase_messages_total",
+            "Messages sent during one protocol phase", **labels,
+        ).inc(stats.messages_sent)
+        registry.counter(
+            "protocol_phase_rounds_total",
+            "Simulated rounds spent in one protocol phase", **labels,
+        ).inc(stats.finish_time)
+
+
+@dataclass(frozen=True)
+class CostSample:
+    """Measured totals for one run at one size."""
+
+    n: int
+    messages: int
+    rounds: float
+    per_phase: Mapping[str, Mapping[str, float]] = field(default_factory=dict)
+
+
+def _fit_exponent(points: Sequence[Tuple[int, float]]) -> float:
+    """Least-squares slope of log(y) on log(n)."""
+    if len(points) < 2:
+        return 1.0
+    xs = [math.log(n) for n, _ in points]
+    ys = [math.log(max(y, 1.0)) for _, y in points]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return 1.0
+    return sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / denominator
+
+
+class MessageCostReport:
+    """Measured message/time totals checked against Theorem 12."""
+
+    def __init__(
+        self,
+        algorithm: str,
+        samples: Sequence[CostSample],
+        *,
+        slack: float = DEFAULT_SLACK,
+    ) -> None:
+        if algorithm not in ("1", "2"):
+            raise ValueError(f"unknown algorithm {algorithm!r} (expected '1' or '2')")
+        if not samples:
+            raise ValueError("a cost report needs at least one sample")
+        self.algorithm = algorithm
+        self.samples = sorted(samples, key=lambda s: s.n)
+        self.slack = slack
+        smallest = self.samples[0]
+        self._c_messages = smallest.messages / self.message_bound(smallest.n)
+        self._c_rounds = smallest.rounds / smallest.n if smallest.rounds else 0.0
+
+    # ------------------------------------------------------------------
+    # Envelopes
+    # ------------------------------------------------------------------
+    def message_bound(self, n: int) -> float:
+        """The theoretical message-count shape at size ``n``."""
+        if self.algorithm == "1":
+            return n * max(math.log2(n), 1.0)
+        return float(n)
+
+    def message_envelope(self, n: int) -> float:
+        """``slack * c * bound(n)`` with ``c`` calibrated on the
+        smallest size."""
+        return self.slack * self._c_messages * self.message_bound(n)
+
+    def time_envelope(self, n: int) -> float:
+        """``slack * c_t * n`` (both algorithms run in O(n) time)."""
+        return self.slack * self._c_rounds * n
+
+    @property
+    def message_exponent(self) -> float:
+        """Fitted growth exponent of the measured message totals."""
+        return _fit_exponent([(s.n, float(s.messages)) for s in self.samples])
+
+    @property
+    def superlinear(self) -> bool:
+        """Whether message growth exceeds the theoretical curve's own
+        log-log slope (plus margin)."""
+        return self.message_exponent > EXPONENT_LIMITS[self.algorithm]
+
+    def violations(self) -> List[Dict[str, object]]:
+        """Every sample whose measured totals escape an envelope."""
+        out = []
+        for sample in self.samples:
+            over_messages = sample.messages > self.message_envelope(sample.n)
+            over_time = (
+                self._c_rounds > 0.0 and sample.rounds > self.time_envelope(sample.n)
+            )
+            if over_messages or over_time:
+                out.append(
+                    {
+                        "n": sample.n,
+                        "over_messages": over_messages,
+                        "over_time": over_time,
+                    }
+                )
+        return out
+
+    @property
+    def ok(self) -> bool:
+        """True when every envelope holds and growth is not
+        super-linear."""
+        return not self.superlinear and not self.violations()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Per-size rows for :func:`repro.analysis.print_table`."""
+        rows = []
+        for sample in self.samples:
+            rows.append(
+                {
+                    "n": sample.n,
+                    "messages": sample.messages,
+                    "msg_envelope": round(self.message_envelope(sample.n), 1),
+                    "rounds": round(sample.rounds, 1),
+                    "time_envelope": round(self.time_envelope(sample.n), 1),
+                    "within": sample.messages <= self.message_envelope(sample.n),
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict[str, object]:
+        bound_name = "n*log2(n)" if self.algorithm == "1" else "n"
+        return {
+            "algorithm": self.algorithm,
+            "bound": bound_name,
+            "slack": self.slack,
+            "calibrated_c_messages": self._c_messages,
+            "calibrated_c_rounds": self._c_rounds,
+            "message_exponent": round(self.message_exponent, 4),
+            "exponent_limit": EXPONENT_LIMITS[self.algorithm],
+            "superlinear": self.superlinear,
+            "violations": self.violations(),
+            "ok": self.ok,
+            "samples": [
+                {
+                    "n": s.n,
+                    "messages": s.messages,
+                    "message_envelope": round(self.message_envelope(s.n), 2),
+                    "rounds": s.rounds,
+                    "time_envelope": round(self.time_envelope(s.n), 2),
+                    "per_phase": {k: dict(v) for k, v in s.per_phase.items()},
+                }
+                for s in self.samples
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def register_into(self, registry: MetricsRegistry) -> None:
+        """Expose the report as gauges (for Prometheus export)."""
+        algorithm = self.algorithm
+        for sample in self.samples:
+            registry.gauge(
+                "cost_messages",
+                "Measured protocol message total",
+                algorithm=algorithm, n=sample.n,
+            ).set(sample.messages)
+            registry.gauge(
+                "cost_message_envelope",
+                "Calibrated Theorem 12 message envelope",
+                algorithm=algorithm, n=sample.n,
+            ).set(self.message_envelope(sample.n))
+            registry.gauge(
+                "cost_rounds",
+                "Measured protocol finish time (rounds)",
+                algorithm=algorithm, n=sample.n,
+            ).set(sample.rounds)
+        registry.gauge(
+            "cost_message_exponent",
+            "Fitted log-log growth exponent of message totals",
+            algorithm=algorithm,
+        ).set(self.message_exponent)
+        registry.gauge(
+            "cost_within_envelope",
+            "1 when every sample fits the calibrated envelope",
+            algorithm=algorithm,
+        ).set(1.0 if self.ok else 0.0)
+
+
+def _density_side(n: int) -> float:
+    """Deployment side keeping average degree constant across sizes
+    (the T12a workload)."""
+    return (n / 7.0) ** 0.5 * 1.87
+
+
+def measure_message_costs(
+    algorithm: str = "1",
+    sizes: Sequence[int] = (100, 200, 400),
+    *,
+    seed: int = 7,
+    slack: float = DEFAULT_SLACK,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MessageCostReport:
+    """Run one algorithm across ``sizes`` and report against the
+    envelopes.
+
+    Each run goes through the instrumented entry points, so a live
+    ``tracer`` collects the per-phase spans and a ``registry`` the
+    per-kind message counters alongside the returned report.
+    """
+    from repro.graphs import connected_random_udg
+    from repro.wcds import algorithm1_distributed, algorithm2_distributed
+
+    if tracer is None:
+        tracer = get_tracer()
+    samples = []
+    for n in sorted(sizes):
+        graph = connected_random_udg(n, _density_side(n), seed=seed)
+        if algorithm == "1":
+            result = algorithm1_distributed(graph, tracer=tracer, registry=registry)
+            phase_stats = result.meta["phase_stats"]
+            per_phase = {
+                phase: {
+                    "messages": stats.messages_sent,
+                    "rounds": stats.finish_time,
+                }
+                for phase, stats in phase_stats.items()
+            }
+            messages = result.meta["total_messages"]
+            rounds = result.meta["finish_time"]
+        elif algorithm == "2":
+            result = algorithm2_distributed(graph, tracer=tracer, registry=registry)
+            stats = result.meta["stats"]
+            per_phase = {
+                phase: dict(split)
+                for phase, split in result.meta["phase_messages"].items()
+            }
+            messages = stats.messages_sent
+            rounds = stats.finish_time
+        else:
+            raise ValueError(f"unknown algorithm {algorithm!r} (expected '1' or '2')")
+        samples.append(
+            CostSample(n=n, messages=messages, rounds=rounds, per_phase=per_phase)
+        )
+    report = MessageCostReport(algorithm, samples, slack=slack)
+    if registry is not None:
+        report.register_into(registry)
+    return report

@@ -1,0 +1,72 @@
+"""Prometheus text exposition (version 0.0.4) for a registry.
+
+One block per family — ``# HELP`` and ``# TYPE`` comment lines followed
+by the samples of every labeled child, in sorted label order.
+Histograms expose the conventional ``_bucket`` (cumulative, with an
+``le`` label and a final ``+Inf``), ``_sum``, and ``_count`` series.
+Label values are escaped per the spec: backslash, double-quote, and
+newline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.obs.registry import HISTOGRAM, LabelKey, MetricsRegistry
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value for the text format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string (backslash and newline only)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _label_string(labels: LabelKey, extra: str = "") -> str:
+    parts = [f'{key}="{escape_label_value(value)}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key in sorted(family.children):
+            child = family.children[key]
+            if family.kind == HISTOGRAM:
+                # Empty buckets are elided (their cumulative count is
+                # that of the previous emitted bucket); the +Inf bucket
+                # is always present, as the format requires.
+                cumulative = 0
+                for index, bucket_count in enumerate(child.counts[:-1]):
+                    if bucket_count == 0:
+                        continue
+                    cumulative += bucket_count
+                    bound = child.bucket_bound(index)
+                    labels = _label_string(key, f'le="{bound!r}"')
+                    lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                labels = _label_string(key, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{labels} {child.count}")
+                labels = _label_string(key)
+                lines.append(f"{family.name}_sum{labels} {_format_value(child.total)}")
+                lines.append(f"{family.name}_count{labels} {child.count}")
+            else:
+                labels = _label_string(key)
+                lines.append(f"{family.name}{labels} {_format_value(child.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

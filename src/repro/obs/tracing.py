@@ -1,0 +1,224 @@
+"""Protocol span tracing: nested, timed spans with event logs.
+
+A :class:`Tracer` produces :class:`Span` objects through the
+``span(name, **attrs)`` context manager; spans nest (the tracer keeps a
+stack), carry monotonic wall-clock timings from
+:func:`time.perf_counter`, and accumulate point-in-time events.  The
+module-global default tracer is a :class:`NullTracer` whose ``span``
+hands back one shared no-op object, so uninstrumented runs pay a single
+attribute lookup and no allocation per would-be span.
+
+Usage::
+
+    tracer = Tracer()
+    with tracer.span("algorithm1", n=200) as root:
+        with tracer.span("election") as s:
+            ...
+            s.set_attr("messages", stats.messages_sent)
+    tracer.to_dict()   # nested spans with durations and attrs
+
+Instrumented code takes an optional ``tracer`` argument and falls back
+to :func:`get_tracer`, so one ``set_tracer(Tracer())`` call turns the
+whole stack's tracing on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed, nestable unit of work."""
+
+    __slots__ = ("name", "attrs", "start", "end", "events", "children")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, object]] = None) -> None:
+        self.name = name
+        self.attrs: Dict[str, object] = dict(attrs or {})
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.events: List[Dict[str, object]] = []
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (to now while still open)."""
+        return (self.end if self.end is not None else time.perf_counter()) - self.start
+
+    def set_attr(self, key: str, value: object) -> None:
+        """Attach or overwrite one attribute."""
+        self.attrs[key] = value
+
+    def event(self, name: str, **attrs) -> None:
+        """Log a point-in-time event inside this span."""
+        entry: Dict[str, object] = {"name": name, "offset": time.perf_counter() - self.start}
+        if attrs:
+            entry.update(attrs)
+        self.events.append(entry)
+
+    def finish(self) -> None:
+        if self.end is None:
+            self.end = time.perf_counter()
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the span subtree."""
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_seconds": self.duration,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.events:
+            out["events"] = [dict(e) for e in self.events]
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+
+class Tracer:
+    """Collects a forest of spans from nested ``span(...)`` contexts."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a child span of the current span (or a new root)."""
+        span = Span(name, attrs)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.finish()
+            self._stack.pop()
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def event(self, name: str, **attrs) -> None:
+        """Log an event on the current span (dropped when none open)."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+
+    def find(self, name: str) -> List[Span]:
+        """Every finished-or-open span called ``name``, depth-first."""
+        found: List[Span] = []
+
+        def walk(span: Span) -> None:
+            if span.name == name:
+                found.append(span)
+            for child in span.children:
+                walk(child)
+
+        for root in self.roots:
+            walk(root)
+        return found
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view: the full span forest."""
+        return {"spans": [root.to_dict() for root in self.roots]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+class _NullSpan:
+    """Shared inert span: absorbs every call, records nothing."""
+
+    __slots__ = ()
+    name = "null"
+    attrs: Dict[str, object] = {}
+    events: List[Dict[str, object]] = []
+    children: List[Span] = []
+    duration = 0.0
+
+    def set_attr(self, key: str, value: object) -> None:
+        pass
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def finish(self) -> None:
+        pass
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": "null", "duration_seconds": 0.0}
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The default tracer: every span is the shared no-op span.
+
+    ``span`` is not a generator context manager — it returns the one
+    :data:`NULL_SPAN` object, which is its own context manager — so the
+    disabled path costs one method call and zero allocations.
+    """
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return NULL_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def event(self, name: str, **attrs) -> None:
+        pass
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"spans": []}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+
+_DEFAULT = NullTracer()
+_current_tracer = _DEFAULT
+
+
+def get_tracer():
+    """The process-wide default tracer (a no-op unless replaced)."""
+    return _current_tracer
+
+
+def set_tracer(tracer) -> None:
+    """Replace the process-wide default tracer (``None`` resets)."""
+    global _current_tracer
+    _current_tracer = tracer if tracer is not None else _DEFAULT
+
+
+@contextmanager
+def use_tracer(tracer) -> Iterator[object]:
+    """Scoped :func:`set_tracer`: restore the previous default on exit."""
+    global _current_tracer
+    previous = _current_tracer
+    _current_tracer = tracer if tracer is not None else _DEFAULT
+    try:
+        yield tracer
+    finally:
+        _current_tracer = previous

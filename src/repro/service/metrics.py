@@ -1,124 +1,107 @@
 """Service instrumentation: counters and latency histograms.
 
-The service records every request in a fixed-bucket geometric histogram
-(no per-sample storage, O(1) observe, deterministic memory) and keeps
-plain counters for cache traffic and maintenance work.  Quantiles are
-interpolated inside the matching bucket, which is accurate to the
-bucket growth factor — plenty for p50/p95/p99 dashboards.
+Since the ``repro.obs`` telemetry layer landed, :class:`ServiceMetrics`
+is a thin facade over an :class:`repro.obs.MetricsRegistry`: counters
+become registry counters, request latencies go into the registry's
+labeled ``request_latency_seconds`` histogram family, and the
+Prometheus/JSONL exporters come along for free.  The public surface —
+``incr`` / ``observe`` / ``hit_rate`` / ``counters`` / ``snapshot`` /
+``to_json`` / ``rows`` — is unchanged.
 
-Everything exports as a plain dict (:meth:`ServiceMetrics.snapshot`),
-JSON (:meth:`ServiceMetrics.to_json`), or rows for the repo's table
-printer (:meth:`ServiceMetrics.rows`).
+:class:`LatencyHistogram` (the fixed-geometric-bucket histogram with
+interpolated quantiles that used to be defined here) now lives in
+:mod:`repro.obs.registry` and is re-exported for compatibility.
 """
 
 from __future__ import annotations
 
 import json
-from collections import Counter
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
-#: Histogram bucket layout: geometric from 1 microsecond, factor 2.
-_LOWEST = 1e-6
-_FACTOR = 2.0
-_BUCKETS = 40  # covers up to ~1e-6 * 2^40 s, far beyond any request
+from repro.obs.registry import Histogram, LatencyHistogram, MetricsRegistry
+
+__all__ = ["LatencyHistogram", "ServiceMetrics"]
+
+#: Registry family holding one histogram per request operation.
+LATENCY_FAMILY = "request_latency_seconds"
 
 
-class LatencyHistogram:
-    """Fixed geometric buckets over seconds, with interpolated quantiles."""
+class _CounterView:
+    """Read-only, zero-defaulting mapping over the registry's plain
+    (label-less) counters — keeps ``metrics.counters[...]`` working."""
 
-    __slots__ = ("counts", "count", "total", "min", "max")
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
 
-    def __init__(self) -> None:
-        self.counts: List[int] = [0] * (_BUCKETS + 1)
-        self.count = 0
-        self.total = 0.0
-        self.min: Optional[float] = None
-        self.max: Optional[float] = None
+    def _families(self):
+        for family in self._registry.families():
+            if family.kind == "counter" and () in family.children:
+                yield family.name, family.children[()]
 
-    def observe(self, seconds: float) -> None:
-        """Record one latency sample (seconds; negatives clamp to 0)."""
-        seconds = max(0.0, float(seconds))
-        self.count += 1
-        self.total += seconds
-        self.min = seconds if self.min is None else min(self.min, seconds)
-        self.max = seconds if self.max is None else max(self.max, seconds)
-        index = 0
-        bound = _LOWEST
-        while seconds > bound and index < _BUCKETS:
-            bound *= _FACTOR
-            index += 1
-        self.counts[index] += 1
+    def __getitem__(self, name: str) -> int:
+        value = self._registry.value(name)
+        return int(value) if value == int(value) else value
 
-    @property
-    def mean(self) -> float:
-        """Arithmetic mean of all samples (0 when empty)."""
-        return self.total / self.count if self.count else 0.0
+    def get(self, name: str, default=0):
+        return self[name] or default
 
-    def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0 < q <= 1), interpolated in-bucket."""
-        if not 0.0 < q <= 1.0:
-            raise ValueError("quantile must be in (0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        seen = 0
-        for index, bucket_count in enumerate(self.counts):
-            if bucket_count == 0:
-                continue
-            if seen + bucket_count >= rank:
-                upper = _LOWEST * (_FACTOR ** index)
-                lower = 0.0 if index == 0 else upper / _FACTOR
-                fraction = (rank - seen) / bucket_count
-                value = lower + fraction * (upper - lower)
-                # Clamp into the observed range so tiny sample counts
-                # never report below min or above max.
-                value = max(value, self.min or 0.0)
-                return min(value, self.max if self.max is not None else value)
-            seen += bucket_count
-        return self.max or 0.0
+    def __contains__(self, name: str) -> bool:
+        return any(name == n for n, _ in self._families())
 
-    def summary(self) -> Dict[str, float]:
-        """count / mean / min / p50 / p95 / p99 / max, all in seconds."""
-        return {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min or 0.0,
-            "p50": self.quantile(0.50),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "max": self.max or 0.0,
-        }
+    def __iter__(self) -> Iterator[str]:
+        return (name for name, _ in self._families())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._families())
+
+    def items(self) -> List[Tuple[str, int]]:
+        return [(name, self[name]) for name, _ in self._families()]
 
 
 class ServiceMetrics:
-    """All counters and histograms of one service instance."""
+    """All counters and histograms of one service instance.
 
-    def __init__(self) -> None:
-        self.counters: Counter = Counter()
-        self.latency: Dict[str, LatencyHistogram] = {}
+    Backed by ``registry`` (a fresh :class:`MetricsRegistry` by
+    default) — pass a shared registry to co-locate service telemetry
+    with simulator and protocol counters in one export.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.counters = _CounterView(self.registry)
 
     # ------------------------------------------------------------------
     # Recording
     # ------------------------------------------------------------------
     def incr(self, name: str, amount: int = 1) -> None:
         """Bump counter ``name`` (created on first use)."""
-        self.counters[name] += amount
+        self.registry.counter(name).inc(amount)
 
     def observe(self, operation: str, seconds: float) -> None:
         """Record one request latency under ``operation``."""
-        histogram = self.latency.get(operation)
-        if histogram is None:
-            histogram = self.latency[operation] = LatencyHistogram()
-        histogram.observe(seconds)
+        self.registry.histogram(
+            LATENCY_FAMILY, "Request latency by operation", op=operation
+        ).observe(seconds)
 
     # ------------------------------------------------------------------
     # Derived figures
     # ------------------------------------------------------------------
     def hit_rate(self, cache: str) -> float:
         """``<cache>_hits / (<cache>_hits + <cache>_misses)`` (0 if cold)."""
-        hits = self.counters[f"{cache}_hits"]
-        misses = self.counters[f"{cache}_misses"]
+        hits = self.registry.value(f"{cache}_hits")
+        misses = self.registry.value(f"{cache}_misses")
         return hits / (hits + misses) if hits + misses else 0.0
+
+    def _latencies(self) -> Dict[str, Histogram]:
+        return {
+            dict(key)["op"]: histogram
+            for key, histogram in self.registry.children(LATENCY_FAMILY).items()
+        }
+
+    @property
+    def latency(self) -> Dict[str, Histogram]:
+        """Per-operation latency histograms (live objects)."""
+        return self._latencies()
 
     # ------------------------------------------------------------------
     # Export
@@ -136,7 +119,7 @@ class ServiceMetrics:
                     key: (value if key == "count" else round(value, 9))
                     for key, value in histogram.summary().items()
                 }
-                for operation, histogram in sorted(self.latency.items())
+                for operation, histogram in sorted(self._latencies().items())
             },
         }
 
@@ -144,10 +127,14 @@ class ServiceMetrics:
         """The snapshot serialized as JSON."""
         return json.dumps(self.snapshot(), indent=indent)
 
+    def prometheus_text(self) -> str:
+        """The backing registry in Prometheus text exposition."""
+        return self.registry.prometheus_text()
+
     def rows(self) -> List[Mapping[str, object]]:
         """Latency summary rows for :func:`repro.analysis.print_table`."""
         rows: List[Mapping[str, object]] = []
-        for operation, histogram in sorted(self.latency.items()):
+        for operation, histogram in sorted(self._latencies().items()):
             summary = histogram.summary()
             rows.append(
                 {

@@ -77,11 +77,12 @@ class BackboneService:
         config: Optional[ServiceConfig] = None,
         *,
         clock: Callable[[], float] = time.perf_counter,
+        registry=None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.clock = clock
         self.graph = udg
-        self.metrics = ServiceMetrics()
+        self.metrics = ServiceMetrics(registry)
         self.route_cache = RouteCache(self.config.route_cache_size)
         self.backbone_cache = BackboneCache(self.config.backbone_cache_size)
         self.queue = RequestQueue(self.config.queue_capacity)

@@ -27,20 +27,29 @@ class SimStats:
     payload_by_kind: Counter = field(default_factory=Counter)
     finish_time: float = 0.0
     events_processed: int = 0
+    first_send_by_kind: Dict[str, float] = field(default_factory=dict)
+    last_send_by_kind: Dict[str, float] = field(default_factory=dict)
 
-    def record_send(self, sender: Hashable, kind: str, payload_size: int = 1) -> None:
+    def record_send(
+        self, sender: Hashable, kind: str, payload_size: int = 1, time: float = 0.0
+    ) -> None:
         """Account one radio transmission of ``payload_size`` entries.
 
         The message *count* is the paper's complexity measure; the
         entry count is the communication-volume measure that separates
         O(1)-payload protocols (Algorithm II's bounded dominator lists)
-        from O(Δ)-payload ones (Wu-Li's HELLO neighbor lists).
+        from O(Δ)-payload ones (Wu-Li's HELLO neighbor lists).  The
+        first/last transmission times per kind bound each message
+        kind's activity window in simulated time (the phase telemetry
+        of interleaved protocols like Algorithm II reads them).
         """
         self.messages_sent += 1
         self.by_kind[kind] += 1
         self.by_node[sender] += 1
         self.payload_entries += payload_size
         self.payload_by_kind[kind] += payload_size
+        self.first_send_by_kind.setdefault(kind, time)
+        self.last_send_by_kind[kind] = time
 
     def record_delivery(self) -> None:
         """Account one successful per-receiver delivery."""

@@ -40,11 +40,24 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` rows during a simulation run."""
+    """Accumulates :class:`TraceEvent` rows during a simulation run.
 
-    def __init__(self, max_events: int = 1_000_000) -> None:
+    Past ``max_events`` the recorder stops storing rows but keeps
+    counting: ``truncated`` flips to ``True`` and ``dropped_events``
+    says how much of the run the transcript is missing — a truncated
+    trace announces itself instead of silently looking complete.
+
+    With a ``registry`` (:class:`repro.obs.MetricsRegistry`) attached,
+    every event is also counted into ``trace_events_total`` by action
+    and message kind — counts that survive truncation.
+    """
+
+    def __init__(self, max_events: int = 1_000_000, *, registry=None) -> None:
         self.events: List[TraceEvent] = []
         self.max_events = max_events
+        self.truncated = False
+        self.dropped_events = 0
+        self.registry = registry
 
     # ------------------------------------------------------------------
     # Hooks called by the simulator
@@ -65,8 +78,15 @@ class TraceRecorder:
         )
 
     def _append(self, event: TraceEvent) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "trace_events_total", "Trace events by action and kind",
+                action=event.action, kind=event.kind,
+            ).inc()
         if len(self.events) >= self.max_events:
-            raise RuntimeError(f"trace exceeded {self.max_events} events")
+            self.truncated = True
+            self.dropped_events += 1
+            return
         self.events.append(event)
 
     # ------------------------------------------------------------------
@@ -98,10 +118,29 @@ class TraceRecorder:
         sends = self.sends(kind)
         return sends[0].time if sends else None
 
+    def summary(self) -> Dict[str, object]:
+        """Event totals by action, plus the truncation signal."""
+        counts = {SEND: 0, DELIVER: 0, DROP: 0}
+        for event in self.events:
+            counts[event.action] += 1
+        return {
+            "events": len(self.events),
+            "sends": counts[SEND],
+            "delivers": counts[DELIVER],
+            "drops": counts[DROP],
+            "truncated": self.truncated,
+            "dropped_events": self.dropped_events,
+        }
+
     def transcript(self, limit: Optional[int] = None) -> str:
         """The run as readable lines, optionally truncated."""
         rows = self.events if limit is None else self.events[:limit]
         lines = [event.format() for event in rows]
         if limit is not None and len(self.events) > limit:
             lines.append(f"... ({len(self.events) - limit} more events)")
+        if self.truncated:
+            lines.append(
+                f"!!! trace truncated: {self.dropped_events} events dropped "
+                f"past max_events={self.max_events}"
+            )
         return "\n".join(lines)

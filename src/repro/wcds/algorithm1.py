@@ -36,6 +36,8 @@ from repro.mis.centralized import greedy_mis
 from repro.mis.distributed import MisNode
 from repro.mis.ranking import level_ranking
 from repro.election.protocol import ElectionResult, elect_leader
+from repro.obs.cost import annotate_phase as _annotate_phase
+from repro.obs.tracing import get_tracer
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
@@ -127,6 +129,7 @@ def _run_level_phase(
     *,
     latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    registry=None,
 ) -> Tuple[Dict[Hashable, int], SimStats]:
     """Run phase 2; returns ``(levels, stats)``."""
     sim = Simulator(
@@ -136,6 +139,7 @@ def _run_level_phase(
         ),
         latency=latency,
         seed=seed,
+        registry=registry,
     )
     stats = sim.run()
     results = sim.collect_results()
@@ -152,6 +156,8 @@ def algorithm1_distributed(
     *,
     latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    tracer=None,
+    registry=None,
 ) -> WCDSResult:
     """Run the full three-phase distributed Algorithm I.
 
@@ -159,28 +165,50 @@ def algorithm1_distributed(
     network the COMPLETE echo provides the same barrier).  The result's
     ``meta`` carries the leader, levels, and per-phase plus aggregate
     message statistics for the complexity experiments.
+
+    Telemetry: each phase runs inside a span of ``tracer`` (default:
+    the process tracer, a no-op unless ``repro.obs.set_tracer`` was
+    called) annotated with its message and round totals, and a
+    ``registry`` receives per-kind ``sim_messages_total`` counters plus
+    per-phase ``protocol_phase_messages_total`` /
+    ``protocol_phase_rounds_total``.
     """
-    election = elect_leader(graph, latency=latency, seed=seed)
-    levels, level_stats = _run_level_phase(
-        graph, election, latency=latency, seed=seed
-    )
-    ranking = level_ranking(graph, levels)
-    sim = Simulator(
-        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed
-    )
-    marking_stats = sim.run()
-    colors = {n: res["color"] for n, res in sim.collect_results().items()}
-    undecided = [n for n, color in colors.items() if color == "white"]
-    if undecided:
-        raise RuntimeError(f"color marking did not terminate: {undecided!r}")
-    mis = frozenset(n for n, color in colors.items() if color == "black")
-    phase_stats = {
-        "election": election.stats,
-        "levels": level_stats,
-        "marking": marking_stats,
-    }
-    total_messages = sum(stats.messages_sent for stats in phase_stats.values())
-    finish_time = sum(stats.finish_time for stats in phase_stats.values())
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("algorithm1", n=graph.num_nodes) as run_span:
+        with tracer.span("election") as span:
+            election = elect_leader(
+                graph, latency=latency, seed=seed, registry=registry
+            )
+            _annotate_phase(span, registry, "1", "election", election.stats)
+        with tracer.span("levels") as span:
+            levels, level_stats = _run_level_phase(
+                graph, election, latency=latency, seed=seed, registry=registry
+            )
+            _annotate_phase(span, registry, "1", "levels", level_stats)
+        with tracer.span("marking") as span:
+            ranking = level_ranking(graph, levels)
+            sim = Simulator(
+                graph, lambda ctx: MisNode(ctx, ranking), latency=latency,
+                seed=seed, registry=registry,
+            )
+            marking_stats = sim.run()
+            _annotate_phase(span, registry, "1", "marking", marking_stats)
+        colors = {n: res["color"] for n, res in sim.collect_results().items()}
+        undecided = [n for n, color in colors.items() if color == "white"]
+        if undecided:
+            raise RuntimeError(f"color marking did not terminate: {undecided!r}")
+        mis = frozenset(n for n, color in colors.items() if color == "black")
+        phase_stats = {
+            "election": election.stats,
+            "levels": level_stats,
+            "marking": marking_stats,
+        }
+        total_messages = sum(stats.messages_sent for stats in phase_stats.values())
+        finish_time = sum(stats.finish_time for stats in phase_stats.values())
+        run_span.set_attr("messages", total_messages)
+        run_span.set_attr("rounds", finish_time)
+        run_span.set_attr("backbone", len(mis))
     return WCDSResult(
         dominators=mis,
         mis_dominators=mis,

@@ -46,6 +46,7 @@ from repro.graphs.traversal import bfs_distances, is_connected
 from repro.mis.centralized import greedy_mis
 from repro.mis.distributed import MisNode
 from repro.mis.ranking import id_ranking
+from repro.obs.tracing import get_tracer
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
@@ -60,6 +61,16 @@ TWO_HOP_DOMINATORS = "2-HOP-DOMINATORS"
 SELECTION = "SELECTION"
 ADDITIONAL_DOMINATOR = "ADDITIONAL-DOMINATOR"
 ADDITIONAL_RELAY = "ADDITIONAL-RELAY"
+
+#: Telemetry grouping of Algorithm II's message kinds into the paper's
+#: logical phases.  Unlike Algorithm I the phases interleave inside one
+#: simulation run, so each phase's span carries its message count and
+#: its simulated-time activity window rather than a wall-clock slice.
+PHASE_KINDS = {
+    "marking": (MIS_DOMINATOR, GRAY),
+    "dominator_lists": (ONE_HOP_DOMINATORS, TWO_HOP_DOMINATORS),
+    "selection": (SELECTION, ADDITIONAL_DOMINATOR, ADDITIONAL_RELAY),
+}
 
 
 class Algorithm2Node(MisNode):
@@ -219,40 +230,99 @@ class Algorithm2Node(MisNode):
         }
 
 
+def _phase_messages(stats: SimStats) -> Dict[str, Dict[str, float]]:
+    """Per-phase message counts and simulated activity windows, from
+    the run's per-kind statistics."""
+    out: Dict[str, Dict[str, float]] = {}
+    for phase, kinds in PHASE_KINDS.items():
+        messages = sum(stats.by_kind.get(kind, 0) for kind in kinds)
+        firsts = [
+            stats.first_send_by_kind[kind]
+            for kind in kinds
+            if kind in stats.first_send_by_kind
+        ]
+        lasts = [
+            stats.last_send_by_kind[kind]
+            for kind in kinds
+            if kind in stats.last_send_by_kind
+        ]
+        out[phase] = {
+            "messages": messages,
+            "sim_start": min(firsts) if firsts else 0.0,
+            "sim_end": max(lasts) if lasts else 0.0,
+        }
+    return out
+
+
 def algorithm2_distributed(
     graph: Graph,
     *,
     latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    tracer=None,
+    registry=None,
 ) -> WCDSResult:
     """Run the full Algorithm II protocol to quiescence.
 
     ``meta`` carries each node's dominator lists (the routing state
-    §4.2's clusterhead router consumes), the gray/black colors, and the
-    run's message statistics.
+    §4.2's clusterhead router consumes), the gray/black colors, the
+    run's message statistics, and ``phase_messages`` — per-phase
+    message counts with simulated-time activity windows.
+
+    Telemetry mirrors :func:`repro.wcds.algorithm1_distributed`: the
+    run and each logical phase emit spans on ``tracer`` (phases
+    interleave inside the single simulation, so phase spans carry
+    message counts and simulated-time windows, not wall-clock slices),
+    and a ``registry`` receives per-kind and per-phase counters.
     """
     if graph.num_nodes == 0:
         raise ValueError("Algorithm II requires a non-empty graph")
     if not is_connected(graph):
         raise ValueError("Algorithm II requires a connected graph")
-    ranking = id_ranking(graph)
-    sim = Simulator(
-        graph, lambda ctx: Algorithm2Node(ctx, ranking), latency=latency, seed=seed
-    )
-    stats = sim.run()
-    results = sim.collect_results()
-    undecided = [n for n, res in results.items() if res["color"] == "white"]
-    if undecided:
-        raise RuntimeError(f"marking did not terminate: {undecided!r}")
-    mis = frozenset(n for n, res in results.items() if res["color"] == "black")
-    additional = frozenset(
-        n for n, res in results.items() if res["is_additional"]
-    )
+    if tracer is None:
+        tracer = get_tracer()
+    with tracer.span("algorithm2", n=graph.num_nodes) as run_span:
+        ranking = id_ranking(graph)
+        sim = Simulator(
+            graph, lambda ctx: Algorithm2Node(ctx, ranking), latency=latency,
+            seed=seed, registry=registry,
+        )
+        stats = sim.run()
+        phase_messages = _phase_messages(stats)
+        for phase, split in phase_messages.items():
+            with tracer.span(phase) as span:
+                span.set_attr("messages", split["messages"])
+                span.set_attr("sim_start", split["sim_start"])
+                span.set_attr("sim_end", split["sim_end"])
+            if registry is not None:
+                registry.counter(
+                    "protocol_phase_messages_total",
+                    "Messages sent during one protocol phase",
+                    algorithm="2", phase=phase,
+                ).inc(split["messages"])
+        if registry is not None:
+            registry.counter(
+                "protocol_phase_rounds_total",
+                "Simulated rounds spent in one protocol phase",
+                algorithm="2", phase="all",
+            ).inc(stats.finish_time)
+        run_span.set_attr("messages", stats.messages_sent)
+        run_span.set_attr("rounds", stats.finish_time)
+        results = sim.collect_results()
+        undecided = [n for n, res in results.items() if res["color"] == "white"]
+        if undecided:
+            raise RuntimeError(f"marking did not terminate: {undecided!r}")
+        mis = frozenset(n for n, res in results.items() if res["color"] == "black")
+        additional = frozenset(
+            n for n, res in results.items() if res["is_additional"]
+        )
+        run_span.set_attr("backbone", len(mis | additional))
     return WCDSResult(
         dominators=mis | additional,
         mis_dominators=mis,
         additional_dominators=additional,
-        meta={"node_state": results, "stats": stats},
+        meta={"node_state": results, "stats": stats,
+              "phase_messages": phase_messages},
     )
 
 

@@ -53,6 +53,80 @@ class TestCommands:
         assert code == 0
         assert "dominators:" in out
 
+    def test_wcds_telemetry_json(self, capsys):
+        import json
+
+        code, out = self._run(
+            ["wcds", "--nodes", "30", "--side", "4", "--algorithm", "1",
+             "--telemetry", "json"],
+            capsys,
+        )
+        assert code == 0
+        payload = json.loads(out[out.index("{"):])
+        assert payload["command"] == "wcds"
+        assert "sim_messages_total{kind=ELECT}" in payload["metrics"]["counters"]
+        assert payload["spans"][0]["name"] == "algorithm1"
+        phases = [c["name"] for c in payload["spans"][0]["children"]]
+        assert phases == ["election", "levels", "marking"]
+
+    def test_wcds_telemetry_prom_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "metrics.prom"
+        code, out = self._run(
+            ["wcds", "--nodes", "30", "--side", "4",
+             "--telemetry", "prom", "--telemetry-out", str(out_file)],
+            capsys,
+        )
+        assert code == 0
+        text = out_file.read_text()
+        assert "# TYPE sim_messages_total counter" in text
+        assert 'protocol_phase_messages_total{algorithm="2",phase="marking"}' in text
+
+    def test_obs_report_json(self, capsys):
+        import json
+
+        code, out = self._run(
+            ["obs-report", "--algorithm", "1", "--sizes", "40,80", "--seed", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "Per-phase spans" in out
+        payload = json.loads(out[out.index("{"):])
+        report = payload["report"]
+        assert report["ok"] is True
+        assert [s["n"] for s in report["samples"]] == [40, 80]
+        assert "election" in report["samples"][0]["per_phase"]
+
+    def test_obs_report_prometheus(self, capsys):
+        code, out = self._run(
+            ["obs-report", "--algorithm", "2", "--sizes", "40,80",
+             "--telemetry", "prom"],
+            capsys,
+        )
+        assert code == 0
+        assert 'cost_within_envelope{algorithm="2"} 1' in out
+        assert "# TYPE cost_messages gauge" in out
+
+    def test_obs_report_jsonl_appends(self, capsys, tmp_path):
+        import json
+
+        out_file = tmp_path / "obs.jsonl"
+        for _ in range(2):
+            code, _ = self._run(
+                ["obs-report", "--sizes", "40,80", "--telemetry", "jsonl",
+                 "--telemetry-out", str(out_file)],
+                capsys,
+            )
+            assert code == 0
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert record["report"]["ok"] is True
+            assert "metrics" in record
+
+    def test_obs_report_bad_sizes(self, capsys):
+        assert main(["obs-report", "--sizes", "abc"]) == 2
+
     def test_route(self, capsys):
         code, out = self._run(
             ["route", "--nodes", "40", "--side", "4.5", "--src", "0", "--dst", "39"],

@@ -1,0 +1,170 @@
+"""Tests for message-cost accounting against the Theorem 12 envelopes."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    CostSample,
+    MessageCostReport,
+    MetricsRegistry,
+    Tracer,
+    annotate_phase,
+    measure_message_costs,
+)
+from repro.obs.cost import DEFAULT_SLACK, EXPONENT_LIMITS, _fit_exponent
+
+
+def _samples(shape, sizes=(50, 100, 200, 400)):
+    """Synthetic samples with messages = shape(n) and rounds = 3n."""
+    return [
+        CostSample(n=n, messages=int(shape(n)), rounds=3.0 * n) for n in sizes
+    ]
+
+
+class TestEnvelopes:
+    def test_linear_growth_fits_algorithm2(self):
+        report = MessageCostReport("2", _samples(lambda n: 6 * n))
+        assert report.ok
+        assert report.violations() == []
+        assert report.message_exponent == pytest.approx(1.0, abs=0.01)
+
+    def test_nlogn_growth_fits_algorithm1(self):
+        report = MessageCostReport("1", _samples(lambda n: 2 * n * math.log2(n)))
+        assert report.ok
+        # Calibration on the smallest size recovers c exactly.
+        assert report.message_envelope(400) == pytest.approx(
+            DEFAULT_SLACK * 2 * 400 * math.log2(400), rel=0.01
+        )
+
+    def test_quadratic_growth_is_flagged(self):
+        report = MessageCostReport("2", _samples(lambda n: n * n))
+        assert report.superlinear
+        assert not report.ok
+        violations = report.violations()
+        assert [v["n"] for v in violations] == [100, 200, 400]
+        assert all(v["over_messages"] for v in violations)
+
+    def test_exponent_limits_differ_by_algorithm(self):
+        # Growth like n^1.4 is inside Algorithm I's n*log2(n) allowance
+        # but materially above Algorithm II's linear bound.
+        shape = lambda n: 4 * n ** 1.4
+        assert not MessageCostReport("1", _samples(shape)).superlinear
+        assert MessageCostReport("2", _samples(shape)).superlinear
+
+    def test_time_envelope_flags_quadratic_rounds(self):
+        samples = [
+            CostSample(n=n, messages=5 * n, rounds=0.02 * n * n)
+            for n in (50, 100, 200, 400)
+        ]
+        report = MessageCostReport("2", samples)
+        assert any(v["over_time"] for v in report.violations())
+
+    def test_slack_widens_the_envelope(self):
+        bumpy = [
+            CostSample(n=50, messages=300, rounds=150.0),
+            CostSample(n=100, messages=735, rounds=300.0),  # 1.23x the fit
+        ]
+        assert not MessageCostReport("2", bumpy, slack=1.2).ok
+        assert MessageCostReport("2", bumpy, slack=1.75).ok
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MessageCostReport("3", _samples(lambda n: n))
+        with pytest.raises(ValueError):
+            MessageCostReport("1", [])
+
+
+class TestExponentFit:
+    def test_recovers_known_slopes(self):
+        points = [(n, 2.5 * n ** 1.5) for n in (50, 100, 200, 400)]
+        assert _fit_exponent(points) == pytest.approx(1.5, abs=1e-9)
+        assert _fit_exponent([(100, 7.0)]) == 1.0  # degenerate: one point
+        assert _fit_exponent([(100, 3.0), (100, 9.0)]) == 1.0  # zero spread
+
+    def test_limits_bracket_the_theoretical_slopes(self):
+        # n*log2(n) over the default sweep has log-log slope ~1.2; the
+        # alg-1 limit must sit above it, the alg-2 limit above 1.0.
+        nlogn = _fit_exponent([(n, n * math.log2(n)) for n in (100, 200, 400)])
+        assert 1.0 < nlogn < EXPONENT_LIMITS["1"]
+        assert 1.0 < EXPONENT_LIMITS["2"]
+
+
+class TestExports:
+    def test_rows_and_dict(self):
+        report = MessageCostReport("2", _samples(lambda n: 6 * n))
+        rows = report.rows()
+        assert [row["n"] for row in rows] == [50, 100, 200, 400]
+        assert all(row["within"] for row in rows)
+        payload = report.to_dict()
+        assert payload["ok"] is True
+        assert payload["bound"] == "n"
+        assert len(payload["samples"]) == 4
+
+    def test_register_into_gauges(self):
+        registry = MetricsRegistry()
+        report = MessageCostReport("2", _samples(lambda n: 6 * n))
+        report.register_into(registry)
+        assert registry.value("cost_messages", algorithm="2", n=400) == 2400
+        assert registry.value("cost_within_envelope", algorithm="2") == 1
+        assert registry.value(
+            "cost_message_exponent", algorithm="2"
+        ) == pytest.approx(1.0, abs=0.01)
+
+
+class TestAnnotatePhase:
+    def test_span_and_registry_both_updated(self):
+        class Stats:
+            messages_sent = 11
+            finish_time = 4.0
+
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        with tracer.span("election") as span:
+            annotate_phase(span, registry, "1", "election", Stats())
+        assert tracer.roots[0].attrs == {"messages": 11, "rounds": 4.0}
+        assert (
+            registry.value(
+                "protocol_phase_messages_total", algorithm="1", phase="election"
+            )
+            == 11
+        )
+
+    def test_none_registry_is_fine(self):
+        class Stats:
+            messages_sent = 1
+            finish_time = 1.0
+
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            annotate_phase(span, None, "1", "x", Stats())
+        assert tracer.roots[0].attrs["messages"] == 1
+
+
+class TestMeasure:
+    @pytest.mark.parametrize("algorithm", ["1", "2"])
+    def test_small_sweep_fits(self, algorithm):
+        tracer = Tracer()
+        registry = MetricsRegistry()
+        report = measure_message_costs(
+            algorithm, sizes=(30, 60), seed=3, tracer=tracer, registry=registry
+        )
+        assert report.ok
+        assert [s.n for s in report.samples] == [30, 60]
+        assert all(s.messages > 0 for s in report.samples)
+        assert all(s.per_phase for s in report.samples)
+        # Spans and gauges were collected along the way.
+        assert len(tracer.find(f"algorithm{algorithm}")) == 2
+        assert registry.value("cost_within_envelope", algorithm=algorithm) == 1
+
+    def test_per_phase_splits_cover_the_total(self):
+        report = measure_message_costs("1", sizes=(40,), seed=5)
+        (sample,) = report.samples
+        assert set(sample.per_phase) == {"election", "levels", "marking"}
+        assert (
+            sum(p["messages"] for p in sample.per_phase.values()) == sample.messages
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            measure_message_costs("9", sizes=(30,))

@@ -1,0 +1,145 @@
+"""Golden-file and structural tests for the Prometheus text exporter.
+
+The golden file pins the exact exposition output for a fixed registry —
+HELP/TYPE ordering, sorted children, cumulative histogram buckets, and
+label escaping. The structural tests parse the rendered text
+line-by-line against the format's rules so any registry (not just the
+golden one) can be checked.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import escape_help, escape_label_value, render
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden", "obs_metrics.prom")
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _golden_registry():
+    """A fixed registry exercising every exporter feature."""
+    registry = MetricsRegistry()
+    sends = registry.counter  # brevity below
+    registry.counter(
+        "sim_messages_total", help="Messages sent, by kind.", kind="ELECT"
+    ).inc(12)
+    sends("sim_messages_total", kind="BLACK").inc(3)
+    sends("sim_messages_total", kind="GRAY").inc(7)
+    registry.counter(
+        "odd_labels_total",
+        help='Help with a backslash \\ kept verbatim.',
+        path='a\\b',
+        note='say "hi"\nbye',
+    ).inc()
+    registry.gauge("backbone_size", help="Dominators plus connectors.").set(9)
+    latency = registry.histogram(
+        "request_latency_seconds", help="Request latency.", op="route"
+    )
+    for value in (0.001, 0.002, 0.002, 0.004, 0.004, 0.004):
+        latency.observe(value)
+    return registry
+
+
+class TestGoldenFile:
+    def test_matches_golden_exactly(self):
+        rendered = render(_golden_registry())
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert rendered == handle.read()
+
+    def test_registry_prometheus_text_is_render(self):
+        registry = _golden_registry()
+        assert registry.prometheus_text() == render(registry)
+
+
+class TestStructure:
+    def _parse(self, text):
+        """Parse exposition text into (comments, samples), enforcing
+        per-line validity."""
+        comments, samples = [], []
+        for line in text.splitlines():
+            if line.startswith("#"):
+                match = re.match(r"^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*) ", line)
+                assert match, f"malformed comment line: {line!r}"
+                comments.append((match.group(1), match.group(2)))
+            else:
+                match = SAMPLE_RE.match(line)
+                assert match, f"malformed sample line: {line!r}"
+                labels = match.group("labels")
+                if labels:
+                    for pair in re.split(r',(?=[a-zA-Z_])', labels):
+                        assert LABEL_RE.match(pair), f"bad label pair: {pair!r}"
+                float(match.group("value"))  # must be a number
+                samples.append(match.group("name"))
+        return comments, samples
+
+    def test_every_line_parses(self):
+        comments, samples = self._parse(render(_golden_registry()))
+        assert samples  # something was emitted
+
+    def test_help_precedes_type_precedes_samples(self):
+        text = render(_golden_registry())
+        seen_types = set()
+        for line in text.splitlines():
+            if line.startswith("# HELP "):
+                name = line.split()[2]
+                assert name not in seen_types, "HELP after TYPE"
+            elif line.startswith("# TYPE "):
+                seen_types.add(line.split()[2])
+            else:
+                name = SAMPLE_RE.match(line).group("name")
+                family = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert family in seen_types or name in seen_types
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        text = render(_golden_registry())
+        buckets = []
+        for line in text.splitlines():
+            if line.startswith("request_latency_seconds_bucket"):
+                value = int(line.rsplit(" ", 1)[1])
+                buckets.append((line, value))
+        assert buckets, "no buckets emitted"
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "bucket counts must be cumulative"
+        assert 'le="+Inf"' in buckets[-1][0]
+        count_line = next(
+            line for line in text.splitlines()
+            if line.startswith("request_latency_seconds_count")
+        )
+        assert int(count_line.rsplit(" ", 1)[1]) == values[-1]
+
+    def test_children_sorted_by_labels(self):
+        text = render(_golden_registry())
+        kinds = re.findall(r'sim_messages_total\{kind="([A-Z]+)"\}', text)
+        assert kinds == sorted(kinds) == ["BLACK", "ELECT", "GRAY"]
+
+
+class TestEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ("plain", "plain"),
+            ('say "hi"', 'say \\"hi\\"'),
+            ("a\\b", "a\\\\b"),
+            ("two\nlines", "two\\nlines"),
+        ],
+    )
+    def test_label_value(self, raw, escaped):
+        assert escape_label_value(raw) == escaped
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        assert escape_help('a\\b "q"\nc') == 'a\\\\b "q"\\nc'
+
+    def test_escaped_labels_round_trip_in_output(self):
+        text = render(_golden_registry())
+        assert 'path="a\\\\b"' in text
+        assert 'note="say \\"hi\\"\\nbye"' in text
+        assert "\nodd" not in text.replace("\nodd_labels_total", "")

@@ -44,6 +44,8 @@ SUBPACKAGES = [
     "repro.analysis",
     "repro.experiments",
     "repro.viz",
+    "repro.service",
+    "repro.obs",
 ]
 
 

@@ -1,7 +1,5 @@
 """Tests for the protocol trace recorder."""
 
-import pytest
-
 from repro.graphs import Graph, line_udg
 from repro.mis import id_ranking
 from repro.mis.distributed import MisNode
@@ -46,12 +44,55 @@ class TestRecording:
         drops = [e for e in tracer.events if e.action == "drop"]
         assert len(drops) == 2
 
-    def test_max_events_guard(self):
+    def test_truncation_keeps_running_and_flags(self):
         tracer = TraceRecorder(max_events=1)
         g = Graph(edges=[(0, 1)])
         ranking = id_ranking(g)
-        with pytest.raises(RuntimeError):
-            Simulator(g, lambda ctx: MisNode(ctx, ranking), tracer=tracer).run()
+        sim = Simulator(g, lambda ctx: MisNode(ctx, ranking), tracer=tracer)
+        stats = sim.run()  # the run completes despite the full trace
+        assert len(tracer.events) == 1
+        assert tracer.truncated
+        # Every event past the first (sends + deliveries) was dropped.
+        assert tracer.dropped_events == stats.messages_sent + stats.deliveries - 1
+
+    def test_truncation_surfaces_in_summary_and_transcript(self):
+        g = line_udg(8)
+        ranking = id_ranking(g)
+        tracer = TraceRecorder(max_events=5)
+        Simulator(g, lambda ctx: MisNode(ctx, ranking), tracer=tracer).run()
+        summary = tracer.summary()
+        assert summary["truncated"] is True
+        assert summary["events"] == 5
+        assert summary["dropped_events"] == tracer.dropped_events > 0
+        assert "trace truncated" in tracer.transcript()
+        assert str(tracer.dropped_events) in tracer.transcript()
+
+    def test_untruncated_summary(self):
+        g = Graph(edges=[(0, 1)])
+        ranking = id_ranking(g)
+        tracer, sim = _run_traced(g, lambda ctx: MisNode(ctx, ranking))
+        summary = tracer.summary()
+        assert summary["truncated"] is False
+        assert summary["dropped_events"] == 0
+        assert summary["sends"] == sim.stats.messages_sent
+        assert summary["delivers"] == sim.stats.deliveries
+        assert "trace truncated" not in tracer.transcript()
+
+    def test_registry_counts_survive_truncation(self):
+        from repro.obs import MetricsRegistry
+
+        g = line_udg(8)
+        ranking = id_ranking(g)
+        registry = MetricsRegistry()
+        tracer = TraceRecorder(max_events=3, registry=registry)
+        sim = Simulator(g, lambda ctx: MisNode(ctx, ranking), tracer=tracer)
+        sim.run()
+        total = sum(
+            child.value
+            for key, child in registry.children("trace_events_total").items()
+            if dict(key)["action"] == "send"
+        )
+        assert total == sim.stats.messages_sent  # not capped at 3
 
 
 class TestQueries:
