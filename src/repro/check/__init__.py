@@ -1,0 +1,75 @@
+"""repro.check — determinism lint and schedule-race detection.
+
+The paper's guarantees hold only for *reproducible* executions: the
+marking, election, and convergecast protocols must not depend on Python
+hash order, wall-clock reads, unseeded randomness, or the unspecified
+processing order of simultaneous deliveries.  Sampling tests cannot
+prove those hazards absent; this subsystem checks them mechanically:
+
+* the **AST linter** (:mod:`repro.check.linter`, rules D1–D5 in
+  :mod:`repro.check.rules`) flags unordered iteration with protocol
+  effects, ambient clock/RNG use, float equality in geometry, cross-node
+  state writes, and re-typed paper constants;
+* the **race detector** (:mod:`repro.check.races`) re-runs protocols
+  under legal delivery-order perturbations and diffs the invariants the
+  theorems pin down.
+
+Both ship behind ``repro check`` (``--format {text,json,github}``,
+``--races``), which CI runs on every change.  See
+``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+``# repro: noqa[RULE]`` suppression syntax.
+"""
+
+from repro.check.linter import (
+    CheckConfig,
+    DEFAULT_PATHS,
+    has_errors,
+    lint_paths,
+    lint_source,
+    make_fixture_config,
+    suppressed_lines,
+)
+from repro.check.races import (
+    Divergence,
+    RaceReport,
+    algorithm1_fingerprint,
+    algorithm2_fingerprint,
+    check_protocols,
+    detect_races,
+    distributed_mis_fingerprint,
+)
+from repro.check.rules import ALL_RULES, ModuleSource, Rule, registry, resolve
+from repro.check.violations import (
+    FORMATTERS,
+    Violation,
+    format_github,
+    format_json,
+    format_text,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "CheckConfig",
+    "DEFAULT_PATHS",
+    "Divergence",
+    "FORMATTERS",
+    "ModuleSource",
+    "RaceReport",
+    "Rule",
+    "Violation",
+    "algorithm1_fingerprint",
+    "algorithm2_fingerprint",
+    "check_protocols",
+    "detect_races",
+    "distributed_mis_fingerprint",
+    "format_github",
+    "format_json",
+    "format_text",
+    "has_errors",
+    "lint_paths",
+    "lint_source",
+    "make_fixture_config",
+    "registry",
+    "resolve",
+    "suppressed_lines",
+]

@@ -1,0 +1,171 @@
+"""The determinism-lint engine.
+
+Drives the registered rules over source files, applying three layers the
+rules themselves stay ignorant of:
+
+* **path scoping** — each rule declares the repository regions where its
+  invariant is load-bearing; a :class:`CheckConfig` can override or
+  disable the scoping (fixture tests lint arbitrary paths this way);
+* **suppression** — ``# repro: noqa[D1]`` (or a bare
+  ``# repro: noqa``) on the flagged line waives the finding, so every
+  justified exception is visible and greppable at the offending line;
+* **severity overrides** — a config may downgrade a rule to ``warning``
+  (reported, but not exit-code-relevant).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.check import rules as rules_registry
+from repro.check.rules.base import ModuleSource, Rule
+from repro.check.violations import Violation
+
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?", re.IGNORECASE
+)
+
+DEFAULT_PATHS = ("src/repro", "benchmarks")
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Engine configuration.
+
+    ``rule_codes`` selects rules (default: all).  ``scopes`` overrides a
+    rule's path scope; ``severities`` its severity.  With
+    ``enforce_scopes`` off every selected rule runs on every file —
+    the fixture corpus and ad-hoc single-file lints use that.
+    """
+
+    rule_codes: Tuple[str, ...] = ()
+    scopes: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    severities: Mapping[str, str] = field(default_factory=dict)
+    enforce_scopes: bool = True
+
+    def build_rules(self) -> List[Rule]:
+        codes = self.rule_codes or tuple(
+            sorted(rules_registry.registry().keys())
+        )
+        rules = rules_registry.resolve(codes)
+        for rule in rules:
+            if rule.code in self.scopes:
+                rule.scope = tuple(self.scopes[rule.code])
+                rule.exclude = ()
+            if rule.code in self.severities:
+                rule.severity = self.severities[rule.code]
+        return rules
+
+
+def suppressed_lines(text: str) -> Dict[int, Optional[frozenset]]:
+    """Map of 1-based line numbers carrying a noqa comment.
+
+    The value is the suppressed rule-code set, or ``None`` for a bare
+    ``# repro: noqa`` (suppresses every rule on that line).
+    """
+    out: Dict[int, Optional[frozenset]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = NOQA_PATTERN.search(line)
+        if not match:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            out[lineno] = None
+        else:
+            out[lineno] = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+    return out
+
+
+def lint_source(
+    text: str,
+    path: str,
+    config: Optional[CheckConfig] = None,
+) -> List[Violation]:
+    """Lint one in-memory module. ``path`` drives rule scoping."""
+    config = config or CheckConfig()
+    module = ModuleSource.parse(path, text)
+    noqa = suppressed_lines(text)
+    findings: List[Violation] = []
+    for rule in config.build_rules():
+        if config.enforce_scopes and not rule.applies_to(path):
+            continue
+        for violation in rule.check(module):
+            waived = noqa.get(violation.line)
+            if waived is None and violation.line in noqa:
+                continue  # bare noqa
+            if waived is not None and violation.rule.upper() in waived:
+                continue
+            findings.append(violation)
+    return sorted(findings)
+
+
+def iter_python_files(
+    paths: Sequence[str], root: Optional[str] = None
+) -> Iterable[Tuple[str, str]]:
+    """Yield ``(relative_posix_path, absolute_path)`` for every .py file
+    under ``paths`` (files or directories), relative to ``root``."""
+    base = os.path.abspath(root or os.getcwd())
+    for path in paths:
+        absolute = path if os.path.isabs(path) else os.path.join(base, path)
+        if os.path.isfile(absolute):
+            yield _relative(absolute, base), absolute
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames.sort()
+            dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    full = os.path.join(dirpath, filename)
+                    yield _relative(full, base), full
+
+
+def _relative(path: str, base: str) -> str:
+    relative = os.path.relpath(os.path.abspath(path), base)
+    return relative.replace(os.sep, "/")
+
+
+def lint_paths(
+    paths: Sequence[str] = DEFAULT_PATHS,
+    config: Optional[CheckConfig] = None,
+    root: Optional[str] = None,
+) -> List[Violation]:
+    """Lint every Python file under ``paths``; returns sorted findings.
+
+    Files that fail to parse produce a synthetic ``PARSE`` error finding
+    instead of aborting the run.
+    """
+    config = config or CheckConfig()
+    findings: List[Violation] = []
+    for rel_path, abs_path in iter_python_files(paths, root=root):
+        with open(abs_path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        try:
+            findings.extend(lint_source(text, rel_path, config))
+        except SyntaxError as exc:
+            findings.append(
+                Violation(
+                    path=rel_path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    rule="PARSE",
+                    severity="error",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    return sorted(findings)
+
+
+def has_errors(violations: Iterable[Violation]) -> bool:
+    """Whether any finding is exit-code relevant."""
+    return any(v.severity == "error" for v in violations)
+
+
+def make_fixture_config(codes: Sequence[str] = ()) -> CheckConfig:
+    """Config used by the fixture corpus and golden tests: all (or the
+    given) rules, scoping disabled."""
+    return CheckConfig(rule_codes=tuple(codes), enforce_scopes=False)

@@ -1,0 +1,257 @@
+"""Schedule-perturbation race detection.
+
+A distributed protocol simulated under the radio model has *ties*:
+events scheduled for the same instant whose processing order the model
+leaves unspecified.  The paper's correctness arguments (Theorem 5's WCDS
+property, the greedy-MIS induction of ``repro.mis.distributed``) promise
+outcomes independent of those ties; this module machine-checks the
+promise by re-running a protocol under ``k`` legal delivery-order
+perturbations (same seed, same latencies — only same-time tie-breaks
+permuted, via :func:`repro.sim.engine.perturbed_schedule`) and diffing
+outcome *fingerprints*.
+
+A fingerprint holds the values the theorems pin down.  For Algorithm I:
+the leader, every node's level, and the marked set.  For Algorithm II:
+the marking colors (hence the MIS) and the WCDS validity of the final
+backbone — but **not** which intermediate becomes each
+additional-dominator, which the paper itself leaves to message arrival
+order ("the distributed run may pick a different (equally valid)
+intermediate").  Likewise message *counts* are not fingerprinted: the
+election's per-node improvement count legitimately depends on the order
+simultaneous ELECT waves arrive.
+
+Any fingerprint divergence is a race; the report carries the first
+diverging trace event so the offending schedule step is inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.graphs.graph import Graph
+from repro.sim.engine import perturbed_schedule
+from repro.sim.trace import TraceRecorder
+
+Fingerprint = Mapping[str, object]
+Runner = Callable[[], Fingerprint]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One fingerprint mismatch under one perturbation seed."""
+
+    perturbation_seed: int
+    key: str
+    baseline: str
+    perturbed: str
+    first_diverging_event: Optional[str] = None
+
+    def format(self) -> str:
+        lines = [
+            f"perturbation seed {self.perturbation_seed}: "
+            f"fingerprint key {self.key!r} diverged",
+            f"  baseline:  {self.baseline}",
+            f"  perturbed: {self.perturbed}",
+        ]
+        if self.first_diverging_event is not None:
+            lines.append(f"  first diverging event: {self.first_diverging_event}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RaceReport:
+    """Outcome of one protocol's perturbation sweep."""
+
+    protocol: str
+    perturbations: int
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No divergence across any perturbation."""
+        return not self.divergences
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "perturbations": self.perturbations,
+            "ok": self.ok,
+            "divergences": [
+                {
+                    "perturbation_seed": d.perturbation_seed,
+                    "key": d.key,
+                    "baseline": d.baseline,
+                    "perturbed": d.perturbed,
+                    "first_diverging_event": d.first_diverging_event,
+                }
+                for d in self.divergences
+            ],
+        }
+
+    def format(self) -> str:
+        verdict = "no schedule races" if self.ok else "SCHEDULE RACE DETECTED"
+        lines = [
+            f"{self.protocol}: {verdict} "
+            f"({self.perturbations} perturbation(s))"
+        ]
+        lines.extend(d.format() for d in self.divergences)
+        return "\n".join(lines)
+
+
+def detect_races(
+    runner: Runner,
+    *,
+    protocol: str,
+    perturbations: int = 5,
+    base_seed: int = 0,
+    capture_traces: bool = True,
+    max_trace_events: int = 500_000,
+) -> RaceReport:
+    """Run ``runner`` once unperturbed and ``perturbations`` times under
+    distinct tie-break seeds; report every fingerprint divergence.
+
+    ``runner`` must build its simulation from scratch on every call and
+    return a JSON-comparable fingerprint of the values that *must* be
+    schedule-independent.
+    """
+    if perturbations < 1:
+        raise ValueError("need at least one perturbation")
+    baseline_trace = TraceRecorder(max_trace_events) if capture_traces else None
+    with perturbed_schedule(None, baseline_trace):
+        baseline = dict(runner())
+    report = RaceReport(protocol=protocol, perturbations=perturbations)
+    for index in range(perturbations):
+        seed = base_seed * perturbations + index + 1
+        trace = TraceRecorder(max_trace_events) if capture_traces else None
+        with perturbed_schedule(seed, trace):
+            perturbed = dict(runner())
+        diverged_keys = sorted(
+            set(baseline) | set(perturbed),
+            key=repr,
+        )
+        first_event = None
+        for key in diverged_keys:
+            base_value = baseline.get(key, "<missing>")
+            pert_value = perturbed.get(key, "<missing>")
+            if base_value == pert_value:
+                continue
+            if first_event is None and baseline_trace is not None and trace is not None:
+                first_event = _first_diverging_event(baseline_trace, trace)
+            report.divergences.append(
+                Divergence(
+                    perturbation_seed=seed,
+                    key=str(key),
+                    baseline=repr(base_value),
+                    perturbed=repr(pert_value),
+                    first_diverging_event=first_event,
+                )
+            )
+    return report
+
+
+def _first_diverging_event(
+    baseline: TraceRecorder, perturbed: TraceRecorder
+) -> Optional[str]:
+    """First position where the two event logs disagree."""
+    for index, (base_event, pert_event) in enumerate(
+        zip(baseline.events, perturbed.events)
+    ):
+        if base_event != pert_event:
+            return (
+                f"event #{index}: baseline {base_event.format().strip()!r} "
+                f"vs perturbed {pert_event.format().strip()!r}"
+            )
+    if len(baseline.events) != len(perturbed.events):
+        return (
+            f"event #{min(len(baseline.events), len(perturbed.events))}: "
+            f"trace lengths differ ({len(baseline.events)} baseline vs "
+            f"{len(perturbed.events)} perturbed)"
+        )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Built-in protocol fingerprints
+# ----------------------------------------------------------------------
+def algorithm1_fingerprint(graph: Graph) -> Runner:
+    """Theorem-relevant invariants of an Algorithm I run."""
+    from repro.wcds.algorithm1 import algorithm1_distributed
+
+    def run() -> Fingerprint:
+        result = algorithm1_distributed(graph)
+        levels: Dict = result.meta["levels"]
+        return {
+            "leader": repr(result.meta["leader"]),
+            "levels": tuple(sorted(levels.items(), key=repr)),
+            "dominators": tuple(sorted(result.dominators, key=repr)),
+        }
+
+    return run
+
+
+def algorithm2_fingerprint(graph: Graph) -> Runner:
+    """Theorem-relevant invariants of an Algorithm II run.
+
+    The MIS (marking colors) must be schedule-independent; the
+    additional-dominator *identities* are legitimately arbitrary, so the
+    fingerprint pins the backbone's WCDS validity instead.
+    """
+    from repro.wcds.algorithm2 import algorithm2_distributed
+    from repro.wcds.base import is_weakly_connected_dominating_set
+
+    def run() -> Fingerprint:
+        result = algorithm2_distributed(graph)
+        return {
+            "mis": tuple(sorted(result.mis_dominators, key=repr)),
+            "wcds_valid": bool(
+                is_weakly_connected_dominating_set(graph, result.dominators)
+            ),
+        }
+
+    return run
+
+
+def distributed_mis_fingerprint(graph: Graph) -> Runner:
+    """The id-ranked marking protocol's MIS (provably tie-independent)."""
+    from repro.mis.distributed import distributed_mis
+
+    def run() -> Fingerprint:
+        mis, _ = distributed_mis(graph)
+        return {"mis": tuple(sorted(mis, key=repr))}
+
+    return run
+
+
+PROTOCOL_CHECKS: Dict[str, Callable[[Graph], Runner]] = {
+    "algorithm1": algorithm1_fingerprint,
+    "algorithm2": algorithm2_fingerprint,
+    "mis": distributed_mis_fingerprint,
+}
+
+
+def check_protocols(
+    graph: Graph,
+    protocols: Tuple[str, ...] = ("algorithm1", "algorithm2"),
+    *,
+    perturbations: int = 5,
+    base_seed: int = 0,
+) -> List[RaceReport]:
+    """Run the named built-in protocol race checks over ``graph``."""
+    reports = []
+    for name in protocols:
+        if name not in PROTOCOL_CHECKS:
+            raise KeyError(
+                f"unknown protocol {name!r} "
+                f"(known: {', '.join(sorted(PROTOCOL_CHECKS))})"
+            )
+        runner = PROTOCOL_CHECKS[name](graph)
+        reports.append(
+            detect_races(
+                runner,
+                protocol=name,
+                perturbations=perturbations,
+                base_seed=base_seed,
+            )
+        )
+    return reports

@@ -1,0 +1,53 @@
+"""Rule registry for the determinism linter.
+
+Each rule is registered under its code (``D1``..``D5``); the engine and
+CLI look rules up here.  Adding a rule means writing a
+:class:`~repro.check.rules.base.Rule` subclass and listing it in
+``ALL_RULES``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.check.rules.base import ModuleSource, Rule
+from repro.check.rules.d1_unordered_iteration import UnorderedIterationRule
+from repro.check.rules.d2_clock_rng import ClockAndRngRule
+from repro.check.rules.d3_float_equality import FloatEqualityRule
+from repro.check.rules.d4_cross_node_mutation import CrossNodeMutationRule
+from repro.check.rules.d5_constant_provenance import ConstantProvenanceRule
+
+ALL_RULES: Tuple[type, ...] = (
+    UnorderedIterationRule,
+    ClockAndRngRule,
+    FloatEqualityRule,
+    CrossNodeMutationRule,
+    ConstantProvenanceRule,
+)
+
+
+def registry() -> Dict[str, Rule]:
+    """Fresh rule instances keyed by code."""
+    return {cls.code: cls() for cls in ALL_RULES}
+
+
+def resolve(codes: Iterable[str]) -> List[Rule]:
+    """Instantiate the requested rules; unknown codes raise KeyError."""
+    known = registry()
+    rules = []
+    for code in codes:
+        if code not in known:
+            raise KeyError(
+                f"unknown rule {code!r} (known: {', '.join(sorted(known))})"
+            )
+        rules.append(known[code])
+    return rules
+
+
+__all__ = [
+    "ALL_RULES",
+    "ModuleSource",
+    "Rule",
+    "registry",
+    "resolve",
+]

@@ -1,0 +1,74 @@
+"""Rule protocol shared by every determinism lint.
+
+A rule is a stateless object with a code (``D1``..), a default severity,
+and a *path scope*: the repository regions where the invariant it checks
+is load-bearing.  ``check`` receives one parsed module and yields
+findings; the engine applies scoping, ``noqa`` suppression, and severity
+overrides around it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.check.violations import ERROR, Violation
+
+
+@dataclass
+class ModuleSource:
+    """One parsed file handed to the rules.
+
+    ``path`` is the scope-relevant identity (posix, relative to the
+    repository root for real files; whatever the caller passes for
+    in-memory sources, which is how fixture tests pin scope behavior).
+    """
+
+    path: str
+    text: str
+    tree: ast.AST = field(repr=False)
+    lines: List[str] = field(repr=False)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "ModuleSource":
+        return cls(
+            path=path, text=text, tree=ast.parse(text), lines=text.splitlines()
+        )
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and ``check``."""
+
+    code: str = ""
+    name: str = ""
+    severity: str = ERROR
+    description: str = ""
+    #: Path prefixes (posix, repo-relative) the rule applies to.
+    scope: Tuple[str, ...] = ()
+    #: Path prefixes exempt even when inside ``scope``.
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Whether ``path`` falls inside the rule's scope."""
+        normalized = path.replace("\\", "/")
+        if any(normalized.startswith(prefix) for prefix in self.exclude):
+            return False
+        return any(normalized.startswith(prefix) for prefix in self.scope)
+
+    def check(self, module: ModuleSource) -> Iterator[Violation]:
+        """Yield findings for one module."""
+        raise NotImplementedError
+
+    def violation(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a finding anchored at ``node``."""
+        return Violation(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.code,
+            severity=self.severity,
+            message=message,
+        )

@@ -1,0 +1,131 @@
+"""D3 — exact equality between float-typed geometry expressions.
+
+Unit-disk membership and packing arguments live on distance thresholds;
+an exact ``==``/``!=`` between float expressions silently encodes a
+measure-zero decision that flips with rounding.  Geometry code must
+compare through an explicit tolerance (``math.isclose`` or an epsilon)
+— or mark the rare intentional exact comparison with a noqa.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.check.rules import base, common
+from repro.check.violations import Violation
+
+#: Call names whose results are float geometry quantities.
+FLOAT_CALLS = frozenset(
+    {
+        "sqrt",
+        "hypot",
+        "dist",
+        "distance",
+        "distance_squared",
+        "norm",
+        "length",
+        "atan2",
+        "acos",
+        "asin",
+        "cos",
+        "sin",
+        "tan",
+        "radians",
+        "degrees",
+        "euclidean",
+        "float",
+        "fsum",
+    }
+)
+
+#: Attribute names that are float coordinates in this codebase.
+FLOAT_ATTRIBUTES = frozenset({"x", "y"})
+
+FLOAT_ANNOTATIONS = frozenset({"float", "Point"})
+
+
+class FloatEqualityRule(base.Rule):
+    code = "D3"
+    name = "float-equality"
+    description = (
+        "exact ==/!= between float-typed geometry expressions; compare via "
+        "math.isclose or an explicit epsilon"
+    )
+    scope = ("src/repro/geometry/", "src/repro/graphs/udg.py")
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        parents = common.parent_map(module.tree)
+        names_by_scope: dict = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            scope = _enclosing_scope(node, parents, module.tree)
+            if id(scope) not in names_by_scope:
+                names_by_scope[id(scope)] = _float_annotated_names(scope)
+            float_names = names_by_scope[id(scope)]
+            witness = next(
+                (
+                    expr
+                    for expr in [node.left] + list(node.comparators)
+                    if _is_floatish(expr, float_names)
+                ),
+                None,
+            )
+            if witness is None:
+                continue
+            rendered = ast.unparse(witness) if hasattr(ast, "unparse") else "operand"
+            yield self.violation(
+                module,
+                node,
+                f"exact ==/!= on a float-typed geometry expression ({rendered}) "
+                "— use math.isclose(...) or an epsilon, or justify with "
+                "`# repro: noqa[D3]`",
+            )
+
+
+def _enclosing_scope(node: ast.AST, parents, tree: ast.AST) -> ast.AST:
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+        current = parents.get(current)
+    return tree
+
+
+def _float_annotated_names(scope_node: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    if isinstance(scope_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = list(scope_node.args.args) + list(scope_node.args.kwonlyargs)
+        for arg in args:
+            if common.annotation_head(arg.annotation) in FLOAT_ANNOTATIONS:
+                names.add(arg.arg)
+    for node in ast.walk(scope_node):
+        if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if common.annotation_head(node.annotation) in FLOAT_ANNOTATIONS:
+                names.add(node.target.id)
+    return names
+
+
+def _is_floatish(node: ast.AST, float_names: Set[str]) -> bool:
+    """Shape-level guess that ``node`` evaluates to a float."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.Attribute):
+        return node.attr in FLOAT_ATTRIBUTES
+    if isinstance(node, ast.Call):
+        name = common.call_name(node)
+        return name in FLOAT_CALLS
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, float_names)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True  # true division yields float
+        return _is_floatish(node.left, float_names) or _is_floatish(
+            node.right, float_names
+        )
+    return False

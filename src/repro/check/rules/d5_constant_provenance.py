@@ -1,0 +1,146 @@
+"""D5 — paper-constant provenance.
+
+The paper's constants — Lemma 1's 5, Lemma 2's 23 and 47, Theorem 10's
+48 and 240, Theorem 11's 3·h+2 / 6·l+5 dilation envelopes — were
+re-derived in DESIGN.md after OCR garbling, and live as the single
+source of truth in :mod:`repro.wcds.bounds` and
+:mod:`repro.geometry.packing`.  Re-typing them as literals anywhere else
+(experiments, benchmarks, spanner checks) silently forks that truth.
+This rule flags the literals outside the two provenance modules; the fix
+is to import the named bound.
+
+Fittingly, the rule's own constant table is *imported from bounds*, so
+even the linter cannot fork the values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.check.rules import base, common
+from repro.check.violations import Violation
+from repro.geometry.packing import mis_three_hop_bound, mis_two_hop_bound
+from repro.wcds.bounds import (
+    ALGORITHM1_RATIO,
+    ALGORITHM2_MIS_MULTIPLIER,
+    ALGORITHM2_RATIO,
+    GEOMETRIC_DILATION_FACTOR,
+    GEOMETRIC_DILATION_OFFSET,
+    TOPOLOGICAL_DILATION_FACTOR,
+    TOPOLOGICAL_DILATION_OFFSET,
+)
+
+#: Distinctive paper constants flagged wherever they appear as literals.
+DISTINCTIVE: Dict[int, str] = {
+    mis_two_hop_bound(): "Lemma 2's two-hop bound (repro.geometry.packing."
+    "mis_two_hop_bound)",
+    mis_three_hop_bound(): "Lemma 2's three-hop bound (repro.geometry."
+    "packing.mis_three_hop_bound)",
+    ALGORITHM2_MIS_MULTIPLIER: "Theorem 10's MIS multiplier (repro.wcds."
+    "bounds.ALGORITHM2_MIS_MULTIPLIER)",
+    ALGORITHM2_RATIO: "Theorem 10's 240·opt ratio (repro.wcds.bounds."
+    "ALGORITHM2_RATIO)",
+}
+
+#: Lemma 1's small constant is only flagged as a multiplicative factor
+#: (`5 * opt`-shaped expressions) — a bare 5 is too common to police.
+SMALL_RATIO = ALGORITHM1_RATIO
+
+#: Theorem 11 dilation envelopes, flagged as `a·x + b` formula shapes.
+DILATION_FORMULAS = {
+    (TOPOLOGICAL_DILATION_FACTOR, TOPOLOGICAL_DILATION_OFFSET): (
+        "Theorem 11's hop-dilation envelope — use repro.wcds.bounds."
+        "topological_dilation_bound"
+    ),
+    (GEOMETRIC_DILATION_FACTOR, GEOMETRIC_DILATION_OFFSET): (
+        "Theorem 11's length-dilation envelope — use repro.wcds.bounds."
+        "geometric_dilation_bound"
+    ),
+}
+
+
+class ConstantProvenanceRule(base.Rule):
+    code = "D5"
+    name = "constant-provenance"
+    description = (
+        "paper constant appears as a literal outside repro.wcds.bounds / "
+        "repro.geometry.packing; import the named bound instead"
+    )
+    scope = ("src/repro/", "benchmarks/")
+    exclude = (
+        "src/repro/wcds/bounds.py",
+        "src/repro/geometry/packing.py",
+    )
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        parents = common.parent_map(module.tree)
+        claimed = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                formula = _dilation_formula(node)
+                if formula is not None:
+                    (factor, offset), mult_const, add_const = formula
+                    message = DILATION_FORMULAS[(factor, offset)]
+                    claimed.add(id(mult_const))
+                    claimed.add(id(add_const))
+                    yield self.violation(
+                        module,
+                        node,
+                        f"inline dilation formula {factor}·x + {offset} is "
+                        f"{message}, or justify with `# repro: noqa[D5]`",
+                    )
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Constant) or id(node) in claimed:
+                continue
+            value = node.value
+            if isinstance(value, bool) or not isinstance(value, int):
+                continue
+            if value in DISTINCTIVE:
+                yield self.violation(
+                    module,
+                    node,
+                    f"literal {value} is {DISTINCTIVE[value]} — import it "
+                    "instead, or justify with `# repro: noqa[D5]`",
+                )
+            elif value == SMALL_RATIO:
+                parent = parents.get(node)
+                if isinstance(parent, ast.BinOp) and isinstance(
+                    parent.op, ast.Mult
+                ):
+                    other = parent.right if parent.left is node else parent.left
+                    if not isinstance(other, ast.Constant):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"multiplicative factor {value} is Lemma 1/7's "
+                            "MIS ratio (repro.wcds.bounds.ALGORITHM1_RATIO / "
+                            "repro.geometry.packing.mis_neighbors_bound) — "
+                            "import it instead, or justify with "
+                            "`# repro: noqa[D5]`",
+                        )
+
+
+def _dilation_formula(node: ast.BinOp):
+    """Match ``factor * x + offset`` (either operand order) against the
+    Theorem 11 envelopes; returns ((factor, offset), mult_const_node,
+    add_const_node) or None."""
+    for mult, addend in ((node.left, node.right), (node.right, node.left)):
+        if not isinstance(mult, ast.BinOp) or not isinstance(mult.op, ast.Mult):
+            continue
+        if not isinstance(addend, ast.Constant) or isinstance(addend.value, bool):
+            continue
+        for factor_node, operand in (
+            (mult.left, mult.right),
+            (mult.right, mult.left),
+        ):
+            if not isinstance(factor_node, ast.Constant):
+                continue
+            if isinstance(factor_node.value, bool):
+                continue
+            if isinstance(operand, ast.Constant):
+                continue  # pure literal arithmetic is not a formula
+            key = (factor_node.value, addend.value)
+            if key in DILATION_FORMULAS:
+                return key, factor_node, addend
+    return None

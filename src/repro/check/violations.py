@@ -1,0 +1,78 @@
+"""Lint findings and their output formats.
+
+A :class:`Violation` is one rule hit at one source location.  The three
+formatters cover the front ends the CLI exposes: human terminals
+(``text``), machine consumers and golden tests (``json``), and GitHub
+Actions annotations (``github``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, List
+
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: a rule fired at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        """One ``path:line:col: RULE severity: message`` line."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}"
+        )
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow-command annotation."""
+        level = "error" if self.severity == ERROR else "warning"
+        # Workflow commands terminate the message at a newline or '%'.
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (
+            f"::{level} file={self.path},line={self.line},"
+            f"col={self.col},title={self.rule}::{message}"
+        )
+
+
+def sort_violations(violations: Iterable[Violation]) -> List[Violation]:
+    """Canonical report order: by path, then line, col, rule."""
+    return sorted(violations)
+
+
+def format_text(violations: Iterable[Violation]) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    ordered = sort_violations(violations)
+    lines = [violation.format() for violation in ordered]
+    errors = sum(1 for v in ordered if v.severity == ERROR)
+    warnings = len(ordered) - errors
+    lines.append(f"{len(ordered)} finding(s): {errors} error(s), {warnings} warning(s)")
+    return "\n".join(lines)
+
+
+def format_json(violations: Iterable[Violation]) -> str:
+    """Stable JSON document (the golden-test format)."""
+    ordered = [asdict(v) for v in sort_violations(violations)]
+    return json.dumps({"violations": ordered, "count": len(ordered)}, indent=2)
+
+
+def format_github(violations: Iterable[Violation]) -> str:
+    """GitHub Actions annotations, one workflow command per finding."""
+    return "\n".join(v.format_github() for v in sort_violations(violations))
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}

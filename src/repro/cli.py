@@ -14,6 +14,9 @@ Usage (installed as ``repro``, or ``python -m repro.cli``):
     repro serve      --requests trace.jsonl       # replay through the service
     repro service-bench --nodes 500               # cached vs rebuild-per-query
     repro obs-report --algorithm 1                # message costs vs Theorem 12
+    repro check                                   # determinism lint (D1-D5)
+    repro check --races --nodes 200               # schedule-race sweeps
+    repro check --rule D2 --format github         # one rule, CI annotations
 
 Commands that construct backbones or serve requests accept
 ``--telemetry json|prom|jsonl`` (plus ``--telemetry-out FILE``) to
@@ -488,6 +491,87 @@ def cmd_obs_report(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_check(args) -> int:
+    import json
+
+    from repro.check import (
+        CheckConfig,
+        DEFAULT_PATHS,
+        FORMATTERS,
+        has_errors,
+        lint_paths,
+        registry,
+    )
+
+    if args.list_rules:
+        rows = [
+            {
+                "rule": rule.code,
+                "severity": rule.severity,
+                "name": rule.name,
+                "scope": ", ".join(rule.scope) if rule.scope else "(all files)",
+            }
+            for _, rule in sorted(registry().items())
+        ]
+        print_table(
+            rows, title="Determinism lint rules (suppress: # repro: noqa[RULE])"
+        )
+        return 0
+
+    known = set(registry())
+    requested = tuple(code.upper() for code in (args.rule or ()))
+    unknown = [code for code in requested if code not in known]
+    if unknown:
+        print(
+            f"error: unknown rule(s) {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    failed = False
+    config = CheckConfig(
+        rule_codes=requested, enforce_scopes=not args.no_scopes
+    )
+    violations = lint_paths(tuple(args.paths) or DEFAULT_PATHS, config=config)
+    output = FORMATTERS[args.format](violations)
+    if output:
+        print(output)
+    if has_errors(violations):
+        failed = True
+
+    reports = []
+    if args.races:
+        from repro.check import check_protocols
+
+        graph = connected_random_udg(args.nodes, args.side, seed=args.seed)
+        reports.extend(
+            check_protocols(graph, perturbations=args.perturbations)
+        )
+        if any(not report.ok for report in reports):
+            failed = True
+    if args.race_demo:
+        from repro.check.fixtures import race_demo_report
+
+        demo = race_demo_report(perturbations=args.perturbations)
+        reports.append(demo)
+        if demo.ok:
+            # The demo fixture is *built* to race; a quiet sweep means
+            # the detector is broken.
+            print("race-demo: expected a divergence but found none",
+                  file=sys.stderr)
+            failed = True
+    if reports:
+        if args.format == "json":
+            print(json.dumps(
+                {"races": [report.to_dict() for report in reports]}, indent=2
+            ))
+        else:
+            for report in reports:
+                print(report.format())
+    return 1 if failed else 0
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -585,6 +669,50 @@ def build_parser() -> argparse.ArgumentParser:
                    help="headroom factor over the calibrated envelope")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "check",
+        help="determinism lint (rules D1-D5) and schedule-race detection "
+        "(exit 1 on findings)",
+    )
+    p.add_argument(
+        "paths", nargs="*",
+        help="files or directories to lint (default: src/repro benchmarks)",
+    )
+    p.add_argument(
+        "--rule", action="append", metavar="CODE",
+        help="run only this rule (repeatable, e.g. --rule D1 --rule D5)",
+    )
+    p.add_argument(
+        "--format", choices=["text", "json", "github"], default="text",
+        help="finding output format (github = workflow annotations)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true", help="list the rule catalogue"
+    )
+    p.add_argument(
+        "--no-scopes", action="store_true",
+        help="ignore the rules' path scoping (lint arbitrary files, e.g. "
+        "the fixture corpus)",
+    )
+    p.add_argument(
+        "--races", action="store_true",
+        help="also re-run Algorithm I/II and the MIS protocol under "
+        "perturbed delivery schedules and diff the invariants",
+    )
+    p.add_argument(
+        "--race-demo", action="store_true",
+        help="run the intentionally racy fixture protocol (must diverge)",
+    )
+    p.add_argument("--nodes", type=int, default=50,
+                   help="race sweep: number of radios")
+    p.add_argument("--side", type=float, default=5.0,
+                   help="race sweep: square side length")
+    p.add_argument("--seed", type=int, default=7,
+                   help="race sweep: topology seed")
+    p.add_argument("--perturbations", type=int, default=5,
+                   help="schedule perturbations per protocol")
+    p.set_defaults(func=cmd_check)
 
     return parser
 

@@ -15,6 +15,23 @@ Node = Hashable
 Edge = Tuple[Node, Node]
 
 
+def canonical_order(items: Iterable[Node]) -> "list[Node]":
+    """Deterministic ordering of node identifiers.
+
+    Natural sort order when the items are mutually comparable (the
+    common all-int case, where it coincides with numeric order), falling
+    back to ``repr``-keyed order for mixed or unorderable types.  The
+    simulator and protocol code use this wherever a set's iteration
+    order would otherwise leak into the execution (hash order depends on
+    the interpreter's hash seed and the set's insertion history).
+    """
+    materialized = list(items)
+    try:
+        return sorted(materialized)  # type: ignore[type-var]
+    except TypeError:
+        return sorted(materialized, key=repr)
+
+
 class Graph:
     """An undirected simple graph over hashable node identifiers."""
 

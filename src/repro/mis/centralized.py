@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Hashable, Mapping, Set
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.mis.ranking import Rank, id_ranking, validate_ranking
 
 
@@ -62,10 +62,10 @@ def greedy_mis_dynamic_degree(graph: Graph) -> Set[Hashable]:
             continue
         black.add(node)
         state[node] = "black"
-        for nbr in graph.adjacency(node):
+        for nbr in canonical_order(graph.adjacency(node)):
             if state[nbr] == "white":
                 state[nbr] = "gray"
-                for second in graph.adjacency(nbr):
+                for second in canonical_order(graph.adjacency(nbr)):
                     if state[second] == "white":
                         white_degree[second] -= 1
                         heapq.heappush(heap, (-white_degree[second], second))

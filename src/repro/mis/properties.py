@@ -11,7 +11,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Hashable, Iterable, Set, Tuple
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import (
     bfs_distances,
     is_connected,
@@ -102,11 +102,12 @@ def mis_overlay_graph(graph: Graph, mis: Set[Hashable], max_hops: int) -> Graph:
     ``max_hops=2`` is connected.
     """
     overlay = Graph()
-    for node in mis:
+    ordered_mis = canonical_order(mis)
+    for node in ordered_mis:
         overlay.add_node(node)
-    for node in mis:
+    for node in ordered_mis:
         distances = bfs_distances(graph, node, cutoff=max_hops)
-        for other in mis:
+        for other in ordered_mis:
             if other != node and other in distances:
                 overlay.add_edge(node, other)
     return overlay

@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
+from repro.graphs.graph import canonical_order
 from repro.graphs.traversal import bfs_distances, is_connected
 from repro.graphs.udg import UnitDiskGraph
 from repro.mis.properties import is_independent_set, is_dominating_set
@@ -298,7 +299,7 @@ class MaintainedWCDS:
             depth += 1
             next_frontier = []
             for node in frontier:
-                for nbr in self.udg.adjacency(node):
+                for nbr in canonical_order(self.udg.adjacency(node)):
                     if nbr not in distances:
                         distances[nbr] = depth
                         next_frontier.append(nbr)

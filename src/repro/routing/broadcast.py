@@ -16,7 +16,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Hashable, Set
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.wcds.base import WCDSResult, weakly_induced_subgraph
 
 
@@ -46,7 +46,7 @@ def blind_flood(graph: Graph, source: Hashable) -> BroadcastOutcome:
     while frontier:
         node = frontier.popleft()
         transmissions += 1  # node forwards once
-        for nbr in graph.adjacency(node):
+        for nbr in canonical_order(graph.adjacency(node)):
             if nbr not in reached:
                 reached.add(nbr)
                 frontier.append(nbr)
@@ -85,7 +85,10 @@ def backbone_broadcast(
         if not is_forwarder:
             continue
         transmissions += 1
-        for nbr in spanner.adjacency(node):
+        # The gateway rule reads `heard`, so the visit order decides
+        # which gray node forwards; hash order here would make the
+        # transmission count depend on the interpreter's hash seed.
+        for nbr in canonical_order(spanner.adjacency(node)):
             if nbr not in heard:
                 heard.add(nbr)
                 frontier.append(nbr)

@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import bfs_distances, shortest_path
 from repro.wcds.base import WCDSResult, weakly_induced_subgraph
 
@@ -140,8 +140,13 @@ class ClusterheadRouter:
             dist[node] = d
             if node != source:
                 first_hop[node] = via
-            for nbr, weight in overlay[node].items():
+            # Equal-cost entries pop in push order (the counter), so the
+            # first hop of a tied route follows the iteration order here
+            # — canonical, not dict order.
+            links = overlay[node]
+            for nbr in canonical_order(links):
                 if nbr not in dist:
+                    weight = links[nbr]
                     heapq.heappush(
                         heap,
                         (d + weight, next(counter), nbr, nbr if node == source else via),

@@ -25,7 +25,7 @@ import heapq
 import itertools
 from typing import Dict, Hashable, Optional, Set, Tuple
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
@@ -108,8 +108,12 @@ def _dijkstra_table(
         done.add(node)
         if node != source:
             table[node] = (first_hop, dist)
-        for nbr, cost in adjacency.get(node, {}).items():
+        # Ties pop in push order: iterate links canonically so tied
+        # next hops match the centralized router's choice.
+        links = adjacency.get(node, {})
+        for nbr in canonical_order(links):
             if nbr not in done:
+                cost = links[nbr]
                 heapq.heappush(
                     heap,
                     (

@@ -15,9 +15,10 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
-from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.sim.latency import FixedLatency, LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
@@ -27,6 +28,44 @@ NodeFactory = Callable[[NodeContext], ProtocolNode]
 
 _DELIVER = 0
 _TIMER = 1
+
+
+class _SchedulePerturbation:
+    """Active schedule override installed by :func:`perturbed_schedule`."""
+
+    def __init__(self, seed: Optional[int], recorder: Any = None) -> None:
+        self.seed = seed
+        self.recorder = recorder
+
+
+_PERTURBATION: Optional[_SchedulePerturbation] = None
+
+
+@contextmanager
+def perturbed_schedule(
+    seed: Optional[int], recorder: Any = None
+) -> Iterator[None]:
+    """Perturb tie-breaking among simultaneously-scheduled events.
+
+    Every :class:`Simulator` constructed inside the ``with`` block draws
+    a random priority (from a dedicated ``random.Random(seed)``) for
+    each scheduled event; the priority orders events *with equal
+    scheduled time* ahead of the FIFO sequence number.  Delivery times
+    are untouched, so every perturbed execution is a legal run of the
+    radio model — the race detector re-runs protocols under several
+    such seeds and diffs the outcomes.
+
+    ``seed=None`` leaves the schedule in default FIFO order (used to
+    capture the baseline trace).  ``recorder``, when given, is attached
+    as the simulator's event tracer unless the caller installed one.
+    """
+    global _PERTURBATION
+    previous = _PERTURBATION
+    _PERTURBATION = _SchedulePerturbation(seed, recorder)
+    try:
+        yield
+    finally:
+        _PERTURBATION = previous
 
 
 class Simulator:
@@ -48,6 +87,13 @@ class Simulator:
         self.graph = graph
         self.tracer = tracer
         self.registry = registry
+        perturbation = _PERTURBATION
+        self._tie_rng: Optional[random.Random] = None
+        if perturbation is not None:
+            if perturbation.seed is not None:
+                self._tie_rng = random.Random(perturbation.seed)
+            if perturbation.recorder is not None and self.tracer is None:
+                self.tracer = perturbation.recorder
         # Registry counters are batched: the hot path only bumps plain
         # dicts (sends are already tallied in ``stats.by_kind``) and
         # :meth:`run` flushes the deltas into the registry on exit.
@@ -87,7 +133,12 @@ class Simulator:
         if self.tracer is not None:
             self.tracer.on_send(self.now, message)
         if message.dest is None:
-            audience: Iterable[Hashable] = self.graph.adjacency(sender)
+            # Canonical fan-out order: a raw set here would make the
+            # delivery sequence (and hence every same-time tie-break)
+            # a function of the hash seed.
+            audience: Iterable[Hashable] = canonical_order(
+                self.graph.adjacency(sender)
+            )
         else:
             if message.dest not in self.graph.adjacency(sender):
                 raise ValueError(
@@ -149,9 +200,11 @@ class Simulator:
         """
         if not self._started:
             self._started = True
-            for node_id, node in self.nodes.items():
+            # Canonical start order, for the same reason transmit sorts
+            # its audience: on_start sends seed the event queue.
+            for node_id in canonical_order(self.nodes):
                 if node_id not in self._dead:
-                    node.on_start()
+                    self.nodes[node_id].on_start()
         try:
             return self._process_events(until, max_events)
         finally:
@@ -162,7 +215,7 @@ class Simulator:
     def _process_events(self, until: Optional[float], max_events: int) -> SimStats:
         processed = 0
         while self._queue:
-            time, _, etype, target, payload = heapq.heappop(self._queue)
+            time, _, _, etype, target, payload = heapq.heappop(self._queue)
             if until is not None and time > until:
                 # Leave the event for a later `run(until=...)` call.
                 self._push_raw(time, etype, target, payload)
@@ -218,7 +271,13 @@ class Simulator:
         self._push_raw(time, etype, target, payload)
 
     def _push_raw(self, time: float, etype: int, target: Hashable, payload) -> None:
-        heapq.heappush(self._queue, (time, next(self._seq), etype, target, payload))
+        # The tie priority orders events with equal scheduled time: 0.0
+        # (FIFO via the sequence number) normally, a random draw under
+        # an active schedule perturbation (see `perturbed_schedule`).
+        priority = self._tie_rng.random() if self._tie_rng is not None else 0.0
+        heapq.heappush(
+            self._queue, (time, priority, next(self._seq), etype, target, payload)
+        )
 
 
 def run_protocol(

@@ -1,0 +1,24 @@
+"""D1 fixture (clean): ordered iteration, pure bodies, and a noqa.
+
+Same shapes as ``d1_flagged.py`` but each hazard is either resolved
+(sorted iterable, effect-free body) or explicitly waived.
+"""
+
+
+def announce_all(ctx, peers: set) -> None:
+    for peer in sorted(peers, key=repr):
+        ctx.broadcast(peer)
+
+
+def announce_any_order(ctx, peers: set) -> None:
+    # All receivers get the same payload, so the order is unobservable.
+    for peer in peers:  # repro: noqa[D1]
+        ctx.broadcast(peer)
+
+
+def count_matches(table: dict, wanted: str) -> int:
+    total = 0
+    for key in table.keys():
+        if key == wanted:
+            total += 1
+    return total

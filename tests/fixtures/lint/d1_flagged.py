@@ -1,0 +1,17 @@
+"""D1 fixture: unordered iteration driving a protocol effect.
+
+The loop below iterates a set-typed parameter and broadcasts from the
+body, so the transmission order is hash order — exactly what D1 flags.
+"""
+
+
+def announce_all(ctx, peers: set) -> None:
+    for peer in peers:
+        ctx.broadcast(peer)
+
+
+def first_match(table: dict, wanted: str):
+    for key in table.keys():
+        if key == wanted:
+            return key
+    return None

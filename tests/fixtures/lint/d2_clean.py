@@ -1,0 +1,17 @@
+"""D2 fixture (clean): injected seeded RNG, simulator time, one noqa."""
+
+import random
+import time
+
+
+def jittered_delay(rng: random.Random, now: float) -> float:
+    return now + rng.random()
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def wall_clock_calibration() -> float:
+    # Test-harness timing only; never feeds back into a protocol run.
+    return time.perf_counter()  # repro: noqa[D2]

@@ -1,0 +1,13 @@
+"""D2 fixture: ambient clock and process-global RNG in protocol code."""
+
+import random
+import time
+from random import randint
+
+
+def jittered_delay() -> float:
+    return time.time() + random.random()
+
+
+def pick_id() -> int:
+    return randint(0, 100)

@@ -1,0 +1,18 @@
+"""D3 fixture (clean): tolerance comparisons, plus one waived exact check."""
+
+import math
+
+EPSILON = 1e-9
+
+
+def on_unit_circle(x: float, y: float) -> bool:
+    return math.isclose(math.hypot(x, y), 1.0, abs_tol=EPSILON)
+
+
+def same_point(a, b) -> bool:
+    return abs(a.x - b.x) <= EPSILON and abs(a.y - b.y) <= EPSILON
+
+
+def exactly_duplicated(x: float, copied: float) -> bool:
+    # Bit-identical duplicate detection is intentionally exact.
+    return x == copied  # repro: noqa[D3]

@@ -1,0 +1,11 @@
+"""D3 fixture: exact float equality on geometry expressions."""
+
+import math
+
+
+def on_unit_circle(x: float, y: float) -> bool:
+    return math.hypot(x, y) == 1.0
+
+
+def same_point(a, b) -> bool:
+    return a.x == b.x and a.y != b.y

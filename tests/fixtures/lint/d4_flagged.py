@@ -1,0 +1,15 @@
+"""D4 fixture: node handlers writing state through foreign references."""
+
+
+class ProtocolNode:
+    pass
+
+
+class PushyNode(ProtocolNode):
+    def on_message(self, msg):
+        peer = self.ctx._sim.nodes[msg.sender]
+        peer.inbox = msg
+        msg.path.append(self.ident)
+
+    def on_timer(self, tag, other):
+        other.counter += 1

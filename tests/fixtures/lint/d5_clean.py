@@ -1,0 +1,33 @@
+"""D5 fixture (clean): constants imported from their provenance modules."""
+
+from repro.geometry.packing import mis_three_hop_bound, mis_two_hop_bound
+from repro.wcds.bounds import (
+    ALGORITHM1_RATIO,
+    ALGORITHM2_MIS_MULTIPLIER,
+    ALGORITHM2_RATIO,
+    geometric_dilation_bound,
+    topological_dilation_bound,
+)
+
+
+def check_bounds(mis_size: int, opt: int, hops: int, length: float) -> bool:
+    two_hop_peers = mis_two_hop_bound()
+    connectors = mis_three_hop_bound() * mis_size
+    backbone = ALGORITHM2_MIS_MULTIPLIER * mis_size
+    ratio_ok = backbone <= ALGORITHM2_RATIO * opt
+    mis_ok = mis_size <= ALGORITHM1_RATIO * opt
+    hop_envelope = topological_dilation_bound(hops)
+    length_envelope = geometric_dilation_bound(length)
+    return (
+        ratio_ok
+        and mis_ok
+        and connectors >= 0
+        and two_hop_peers > 0
+        and hop_envelope > 0
+        and length_envelope > 0
+    )
+
+
+def five_neighbor_sanity(gray_degree: int) -> bool:
+    # Plain small-integer arithmetic, not the paper ratio.
+    return gray_degree * 5 <= 5 * 100  # repro: noqa[D5]

@@ -1,0 +1,19 @@
+"""D5 fixture: paper constants re-typed as literals."""
+
+
+def check_bounds(mis_size: int, opt: int, hops: int, length: float) -> bool:
+    two_hop_peers = 23
+    connectors = 47 * mis_size
+    backbone = 48 * mis_size
+    ratio_ok = backbone <= 240 * opt
+    mis_ok = mis_size <= 5 * opt
+    hop_envelope = 3 * hops + 2
+    length_envelope = 6 * length + 5
+    return (
+        ratio_ok
+        and mis_ok
+        and connectors >= 0
+        and two_hop_peers > 0
+        and hop_envelope > 0
+        and length_envelope > 0
+    )

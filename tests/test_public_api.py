@@ -46,6 +46,7 @@ SUBPACKAGES = [
     "repro.viz",
     "repro.service",
     "repro.obs",
+    "repro.check",
 ]
 
 
