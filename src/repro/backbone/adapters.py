@@ -1,0 +1,64 @@
+"""Built-in registrations for the backbone registry.
+
+Importing this module (done by ``repro.backbone``) registers the
+paper's algorithms, their centralized references, the bare MIS, and
+the comparison baselines.
+"""
+
+from __future__ import annotations
+
+from repro.backbone.registry import (
+    CentralizedAlgorithm,
+    DistributedAlgorithm,
+    register,
+)
+from repro.baselines.chen_liestman import greedy_wcds
+from repro.baselines.guha_khuller import greedy_cds
+from repro.baselines.mis_cds import mis_tree_cds
+from repro.baselines.wu_li import wu_li_cds
+from repro.baselines.wu_li_distributed import wu_li_distributed
+from repro.mis.distributed import run_mis
+from repro.wcds.algorithm1 import algorithm1_centralized, algorithm1_distributed
+from repro.wcds.algorithm2 import algorithm2_centralized, algorithm2_distributed
+
+register(DistributedAlgorithm(
+    "algorithm1", algorithm1_distributed,
+    description="Paper Algorithm I: tree levels + level-ranked MIS",
+))
+register(DistributedAlgorithm(
+    "algorithm2", algorithm2_distributed,
+    description="Paper Algorithm II: id-ranked MIS + 3-hop connectors",
+))
+register(DistributedAlgorithm(
+    "mis", run_mis,
+    description="Bare id-ranked distributed MIS (dominating, "
+    "not necessarily weakly connected)",
+))
+register(DistributedAlgorithm(
+    "wu-li-distributed", wu_li_distributed,
+    description="Wu-Li marking + pruning, message-passing version",
+))
+register(CentralizedAlgorithm(
+    "algorithm1-centralized", algorithm1_centralized,
+    description="Centralized reference for Algorithm I",
+))
+register(CentralizedAlgorithm(
+    "algorithm2-centralized", algorithm2_centralized,
+    description="Centralized reference for Algorithm II",
+))
+register(CentralizedAlgorithm(
+    "greedy-wcds", greedy_wcds,
+    description="Chen-Liestman greedy WCDS baseline",
+))
+register(CentralizedAlgorithm(
+    "greedy-cds", greedy_cds,
+    description="Guha-Khuller greedy CDS baseline",
+))
+register(CentralizedAlgorithm(
+    "wu-li", wu_li_cds,
+    description="Wu-Li marking + pruning, centralized",
+))
+register(CentralizedAlgorithm(
+    "mis-tree", mis_tree_cds,
+    description="MIS + BFS-tree connectors CDS baseline",
+))

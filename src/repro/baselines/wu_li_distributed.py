@@ -28,8 +28,8 @@ from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import is_connected
+from repro.sim.config import SimConfig, merge_entry_args
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -137,8 +137,11 @@ class WuLiNode(ProtocolNode):
 def wu_li_distributed(
     graph: Graph,
     *,
-    latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
+    registry=None,
+    transport=None,
+    sim: Optional[SimConfig] = None,
+    **legacy,
 ) -> Tuple[Set[Hashable], SimStats]:
     """Run the protocol; returns ``(CDS, stats)``.
 
@@ -146,13 +149,17 @@ def wu_li_distributed(
     mark-free graphs like cliques) exactly as the centralized version
     does, so the result is always a CDS of a connected graph.
     """
+    config = merge_entry_args(
+        sim, seed=seed, transport=transport, legacy=legacy,
+        where="wu_li_distributed",
+    )
     if graph.num_nodes == 0:
         raise ValueError("CDS of an empty graph is undefined")
     if not is_connected(graph):
         raise ValueError("Wu-Li marking requires a connected graph")
-    sim = Simulator(graph, WuLiNode, latency=latency, seed=seed)
-    stats = sim.run()
-    results = sim.collect_results()
+    simulator = Simulator(graph, WuLiNode, config, registry=registry)
+    stats = simulator.run()
+    results = simulator.collect_results()
     undecided = [n for n, res in results.items() if res["in_cds"] is None]
     if undecided:
         raise RuntimeError(f"marking did not terminate: {undecided!r}")

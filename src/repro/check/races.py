@@ -214,11 +214,11 @@ def algorithm2_fingerprint(graph: Graph) -> Runner:
 
 def distributed_mis_fingerprint(graph: Graph) -> Runner:
     """The id-ranked marking protocol's MIS (provably tie-independent)."""
-    from repro.mis.distributed import distributed_mis
+    from repro.mis.distributed import run_mis
 
     def run() -> Fingerprint:
-        mis, _ = distributed_mis(graph)
-        return {"mis": tuple(sorted(mis, key=repr))}
+        result = run_mis(graph)
+        return {"mis": tuple(sorted(result.dominators, key=repr))}
 
     return run
 

@@ -62,6 +62,9 @@ class UnorderedIterationRule(base.Rule):
         "src/repro/wcds/",
         "src/repro/mobility/",
         "src/repro/routing/",
+        "src/repro/transport/",
+        "src/repro/faults/",
+        "src/repro/backbone/",
     )
 
     def check(self, module: base.ModuleSource) -> Iterator[Violation]:

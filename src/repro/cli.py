@@ -14,6 +14,8 @@ Usage (installed as ``repro``, or ``python -m repro.cli``):
     repro serve      --requests trace.jsonl       # replay through the service
     repro service-bench --nodes 500               # cached vs rebuild-per-query
     repro obs-report --algorithm 1                # message costs vs Theorem 12
+    repro chaos --quick                           # fault-injection smoke
+    repro chaos --loss 0.3 --crashes 2            # full chaos matrix
     repro check                                   # determinism lint (D1-D5)
     repro check --races --nodes 200               # schedule-race sweeps
     repro check --rule D2 --format github         # one rule, CI annotations
@@ -36,10 +38,6 @@ from typing import List, Optional
 from repro.analysis import print_table
 from repro.graphs import connected_random_udg, graph_stats
 from repro.routing import ClusterheadRouter, backbone_broadcast, blind_flood
-from repro.wcds import (
-    algorithm1_distributed,
-    algorithm2_distributed,
-)
 
 
 def _add_topology_args(parser: argparse.ArgumentParser) -> None:
@@ -60,12 +58,78 @@ def _build(args) -> "UnitDiskGraph":
     return connected_random_udg(args.nodes, args.side, seed=args.seed)
 
 
-def _run_algorithm(graph, which: str, tracer=None, registry=None):
-    if which == "1":
-        return algorithm1_distributed(graph, tracer=tracer, registry=registry)
-    if which == "2":
-        return algorithm2_distributed(graph, tracer=tracer, registry=registry)
-    raise SystemExit(f"unknown algorithm {which!r} (expected 1 or 2)")
+def _add_sim_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--loss", type=float, default=0.0,
+        help="ambient message-loss probability (requires --transport to "
+        "still converge reliably)",
+    )
+    parser.add_argument(
+        "--transport", action="store_true",
+        help="run over the reliable ack/retransmit transport",
+    )
+    parser.add_argument(
+        "--fault-plan", metavar="FILE",
+        help="JSON fault plan (see repro.faults.FaultPlan.to_json)",
+    )
+
+
+def _sim_config(args):
+    """A SimConfig from --loss/--transport/--fault-plan, or None when
+    none of them was given (keeps the fault-free fast path)."""
+    from repro.faults import FaultPlan
+    from repro.sim.config import SimConfig
+
+    loss = getattr(args, "loss", 0.0)
+    transport = getattr(args, "transport", False)
+    plan_file = getattr(args, "fault_plan", None)
+    if not loss and not transport and not plan_file:
+        return None
+    plan = FaultPlan()
+    if plan_file:
+        with open(plan_file, "r", encoding="utf-8") as handle:
+            plan = FaultPlan.from_json(handle.read())
+    return SimConfig(
+        loss_rate=loss,
+        seed=getattr(args, "seed", None),
+        fault_plan=plan,
+        transport=bool(transport),
+    )
+
+
+def _algorithm_name(which: str) -> str:
+    return {"1": "algorithm1", "2": "algorithm2"}.get(which, which)
+
+
+def _algorithm_label(which: str) -> str:
+    return {"1": "Algorithm 1", "2": "Algorithm 2"}.get(
+        which, _algorithm_name(which)
+    )
+
+
+def _algorithm_arg(value: str) -> str:
+    """argparse type: 1, 2, or any registered backbone name."""
+    from repro.backbone import names
+
+    if _algorithm_name(value) not in names():
+        raise argparse.ArgumentTypeError(
+            f"unknown algorithm {value!r} (expected 1, 2, or one of: "
+            f"{', '.join(names())})"
+        )
+    return value
+
+
+def _run_algorithm(graph, which: str, tracer=None, registry=None, sim=None):
+    from repro.backbone import build, names
+
+    name = _algorithm_name(which)
+    try:
+        return build(name, graph, tracer=tracer, registry=registry, sim=sim)
+    except KeyError:
+        raise SystemExit(
+            f"unknown algorithm {which!r} (expected 1, 2, or one of: "
+            f"{', '.join(names())})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -144,17 +208,19 @@ def cmd_wcds(args) -> int:
         from repro.obs import MetricsRegistry, Tracer
 
         tracer, registry = Tracer(), MetricsRegistry()
-    result = _run_algorithm(graph, args.algorithm, tracer, registry)
+    result = _run_algorithm(graph, args.algorithm, tracer, registry,
+                            sim=_sim_config(args))
     result.validate(graph)
-    messages = (
-        result.meta["total_messages"]
-        if "total_messages" in result.meta
-        else result.meta["stats"].messages_sent
-    )
+    if "total_messages" in result.meta:
+        messages = result.meta["total_messages"]
+    elif "stats" in result.meta:
+        messages = result.meta["stats"].messages_sent
+    else:
+        messages = ""
     print_table(
         [
             {
-                "algorithm": f"Algorithm {args.algorithm}",
+                "algorithm": _algorithm_label(args.algorithm),
                 "n": graph.num_nodes,
                 "backbone": result.size,
                 "clusterheads": len(result.mis_dominators),
@@ -179,7 +245,9 @@ def cmd_route(args) -> int:
     if args.src not in graph or args.dst not in graph:
         print(f"error: src/dst must be in 0..{graph.num_nodes - 1}", file=sys.stderr)
         return 2
-    result = algorithm2_distributed(graph)
+    from repro.backbone import build
+
+    result = build("algorithm2", graph)
     router = ClusterheadRouter(graph, result)
     path = router.route(args.src, args.dst)
     router.validate_path(path)
@@ -195,8 +263,10 @@ def cmd_route(args) -> int:
 
 
 def cmd_broadcast(args) -> int:
+    from repro.backbone import build
+
     graph = _build(args)
-    result = algorithm2_distributed(graph)
+    result = build("algorithm2", graph)
     flood = blind_flood(graph, args.source)
     backbone = backbone_broadcast(graph, result, args.source)
     print_table(
@@ -214,9 +284,11 @@ def cmd_broadcast(args) -> int:
 def cmd_compare(args) -> int:
     from repro.baselines import greedy_cds, greedy_wcds, mis_tree_cds, wu_li_cds
 
+    from repro.backbone import build
+
     graph = _build(args)
-    alg1 = algorithm1_distributed(graph)
-    alg2 = algorithm2_distributed(graph)
+    alg1 = build("algorithm1", graph)
+    alg2 = build("algorithm2", graph)
     rows = [
         {"algorithm": "Algorithm I (WCDS)", "size": alg1.size, "localized": "no (election)"},
         {"algorithm": "Algorithm II (WCDS)", "size": alg2.size, "localized": "yes"},
@@ -279,8 +351,10 @@ def cmd_figures(args) -> int:
 
     os.makedirs(args.outdir, exist_ok=True)
     graph = _build(args)
+    from repro.backbone import build
+
     draw_udg(graph).save(os.path.join(args.outdir, "udg.svg"))
-    result = algorithm2_distributed(graph)
+    result = build("algorithm2", graph)
     draw_wcds(graph, result).save(os.path.join(args.outdir, "wcds_spanner.svg"))
     fig2 = paper_figure2_udg()
     fig2_result = WCDSResult(
@@ -322,6 +396,7 @@ def cmd_serve(args) -> int:
         config = ServiceConfig(
             rebuild_threshold=args.rebuild_threshold,
             default_deadline=args.deadline,
+            sim=_sim_config(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -491,6 +566,72 @@ def cmd_obs_report(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    import json
+
+    from repro.faults import CHAOS_ALGORITHMS, FaultPlan, default_fault_plan, run_chaos
+
+    if args.quick:
+        nodes, side = 40, 5.0
+        seeds = (7, 8)
+        loss, crashes, partition = 0.15, 1, True
+    else:
+        nodes, side = args.nodes, args.side
+        if args.seeds:
+            try:
+                seeds = tuple(int(s) for s in args.seeds.split(","))
+            except ValueError:
+                print(f"error: --seeds must be a comma list of ints, "
+                      f"got {args.seeds!r}", file=sys.stderr)
+                return 2
+        else:
+            seeds = (args.seed,)
+        loss, crashes, partition = args.loss, args.crashes, not args.no_partition
+    if args.algorithm == "both":
+        algorithms = CHAOS_ALGORITHMS
+    else:
+        algorithms = (_algorithm_name(args.algorithm),)
+    plan_template = None
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan_template = FaultPlan.from_json(handle.read())
+    rows = []
+    reports = []
+    failed = False
+    for seed in seeds:
+        graph = connected_random_udg(nodes, side, seed=seed)
+        plan = plan_template or default_fault_plan(
+            graph, loss=loss, crashes=crashes, partition=partition, seed=seed
+        )
+        for algorithm in algorithms:
+            report = run_chaos(
+                algorithm, graph, plan, seed=seed, max_epochs=args.max_epochs
+            )
+            reports.append(report)
+            failed = failed or not report.valid
+            rows.append(
+                {
+                    "algorithm": report.algorithm,
+                    "seed": seed,
+                    "nodes": report.nodes,
+                    "survivors": report.survivor_count,
+                    "valid": report.valid,
+                    "epochs": report.epochs,
+                    "backbone": len(report.dominators),
+                    "messages": report.messages_total,
+                    "retransmits": report.retransmissions,
+                }
+            )
+    if args.format == "json":
+        print(json.dumps([report.summary() for report in reports], indent=2))
+    else:
+        print_table(rows, title="Chaos matrix (WCDS validity on survivors)")
+        for report in reports:
+            for note in report.notes:
+                print(f"  note [{report.algorithm} seed={report.seed}]: {note}")
+    return 1 if failed else 0
+
+
 def cmd_check(args) -> int:
     import json
 
@@ -591,8 +732,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("wcds", help="construct a WCDS backbone")
     _add_topology_args(p)
-    p.add_argument("--algorithm", choices=["1", "2"], default="2")
+    p.add_argument(
+        "--algorithm", default="2", type=_algorithm_arg,
+        help="1, 2, or any registered backbone algorithm name "
+        "(see repro.backbone.names())",
+    )
     p.add_argument("--list", action="store_true", help="print the dominator ids")
+    _add_sim_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_wcds)
 
@@ -643,6 +789,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dirtiness fraction that triggers a full rebuild")
     p.add_argument("--metrics", metavar="FILE",
                    help="write the metrics JSON here instead of stdout")
+    _add_sim_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_serve)
 
@@ -669,6 +816,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="headroom factor over the calibrated envelope")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_obs_report)
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the paper's algorithms under loss/crash/partition "
+        "faults and verify WCDS validity on the survivors (exit 1 on "
+        "an invalid backbone)",
+    )
+    p.add_argument("--algorithm", choices=["1", "2", "both"], default="both")
+    p.add_argument("--nodes", type=int, default=60, help="number of radios")
+    p.add_argument("--side", type=float, default=6.0, help="square side length")
+    p.add_argument("--seed", type=int, default=7, help="topology + schedule seed")
+    p.add_argument("--seeds", metavar="LIST",
+                   help="comma list of seeds (overrides --seed)")
+    p.add_argument("--loss", type=float, default=0.1,
+                   help="loss-burst probability during the early phases")
+    p.add_argument("--crashes", type=int, default=2,
+                   help="mid-phase crash count (victims keep survivors connected)")
+    p.add_argument("--no-partition", action="store_true",
+                   help="skip the healed-partition fault")
+    p.add_argument("--plan", metavar="FILE",
+                   help="JSON fault plan overriding the generated one")
+    p.add_argument("--max-epochs", type=int, default=3,
+                   help="restart budget before declaring failure")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke: 40 nodes, two seeds, loss 0.15, one crash")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "check",

@@ -17,8 +17,8 @@ from typing import Any, Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.election.protocol import ElectionResult, elect_leader
+from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -57,6 +57,13 @@ class ConvergecastNode(ProtocolNode):
         self.accumulator = self.combine(self.accumulator, msg["value"])
         self._maybe_forward()
 
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Transport liveness hook: a dead child's value is lost but
+        the aggregation still completes on the survivors."""
+        if peer in self._pending:
+            self._pending.discard(peer)
+            self._maybe_forward()
+
     def _maybe_forward(self) -> None:
         if self._pending or self.done:
             return
@@ -74,8 +81,8 @@ def converge_cast(
     combine: Combine,
     *,
     election: Optional[ElectionResult] = None,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
+    sim: Optional[SimConfig] = None,
+    **legacy: Any,
 ) -> Tuple[Any, SimStats]:
     """Aggregate ``values`` up the spanning tree; returns the root's
     combined value and the run's stats.
@@ -85,24 +92,24 @@ def converge_cast(
     reused; otherwise a fresh election runs first (its messages are not
     counted in the returned stats — pass the election in to amortize).
     """
+    config = coerce_sim_config(sim, legacy, "converge_cast")
     if set(values) != set(graph.nodes()):
         raise ValueError("values must cover every node exactly")
     if election is None:
-        election = elect_leader(graph, latency=latency, seed=seed)
-    sim = Simulator(
+        election = elect_leader(graph, sim=config)
+    simulator = Simulator(
         graph,
         lambda ctx: ConvergecastNode(
             ctx,
-            election.parent[ctx.node_id],
-            election.children[ctx.node_id],
+            election.parent.get(ctx.node_id),
+            election.children.get(ctx.node_id, frozenset()),
             values[ctx.node_id],
             combine,
         ),
-        latency=latency,
-        seed=seed,
+        config,
     )
-    stats = sim.run()
-    results = sim.collect_results()
+    stats = simulator.run()
+    results = simulator.collect_results()
     if not results[election.leader]["done"]:
         raise RuntimeError("aggregation never completed at the root")
     return results[election.leader]["value"], stats

@@ -24,10 +24,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
-from repro.graphs.graph import Graph
+from typing import Any
+
+from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import is_connected
+from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -35,6 +37,7 @@ from repro.sim.stats import SimStats
 ELECT = "ELECT"
 JOIN = "JOIN"
 LEAVE = "LEAVE"
+PROBE = "PROBE"
 
 
 class ElectionNode(ProtocolNode):
@@ -57,6 +60,10 @@ class ElectionNode(ProtocolNode):
     def on_message(self, msg: Message) -> None:
         if msg.kind == ELECT:
             self._on_elect(msg.sender, msg["leader"])
+        elif msg.kind == PROBE:
+            # An orphaned neighbor asks its vicinity to re-announce so
+            # it can re-attach; answering costs one broadcast.
+            self.ctx.broadcast(ELECT, leader=self.best)
         elif msg.kind in (JOIN, LEAVE):
             if msg["seq"] <= self._child_seq.get(msg.sender, -1):
                 return  # stale statement overtaken by a newer one
@@ -66,8 +73,30 @@ class ElectionNode(ProtocolNode):
             else:
                 self.children.discard(msg.sender)
 
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Transport liveness hook: drop a dead child; if the dead peer
+        was our parent, orphan ourselves and probe for a new one."""
+        self.children.discard(peer)
+        if self.parent == peer:
+            self.parent = None
+            self.ctx.broadcast(PROBE)
+
     def _on_elect(self, sender: Hashable, leader: Hashable) -> None:
         if leader >= self.best:
+            # Re-attachment after our parent crashed: an equally-good
+            # announcement from a non-child neighbor is a valid parent.
+            # (A descendant could answer and form a cycle; the
+            # validation below catches that and the chaos harness
+            # restarts the epoch.)
+            if (
+                leader == self.best
+                and self.parent is None
+                and self.best != self.node_id
+                and sender not in self.children
+            ):
+                self.parent = sender
+                self._seq += 1
+                self.ctx.send(sender, JOIN, seq=self._seq)
             return
         self.best = leader
         if self.parent is not None:
@@ -94,6 +123,7 @@ class ElectionResult:
     parent: Dict[Hashable, Optional[Hashable]]
     children: Dict[Hashable, FrozenSet[Hashable]]
     stats: SimStats
+    crashed: FrozenSet[Hashable] = frozenset()
 
     def levels(self) -> Dict[Hashable, int]:
         """Tree depth of every node (root at level 0).
@@ -123,9 +153,9 @@ class ElectionResult:
 def elect_leader(
     graph: Graph,
     *,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
+    sim: Optional[SimConfig] = None,
     registry=None,
+    **legacy: Any,
 ) -> ElectionResult:
     """Run the election protocol to quiescence on a connected graph.
 
@@ -133,22 +163,67 @@ def elect_leader(
     parent/children pointers, and the run's message statistics.  A
     ``registry`` (:class:`repro.obs.MetricsRegistry`) additionally
     receives per-kind ``sim_messages_total`` counters.
+
+    Under a faulty :class:`SimConfig` (loss or a fault plan) the
+    convergence checks are restricted to the surviving nodes, and the
+    tree is validated by reachability from the root over survivor
+    child pointers; a broken tree raises ``RuntimeError`` (the chaos
+    harness catches it and restarts the epoch on the survivors).
     """
+    config = coerce_sim_config(sim, legacy, "elect_leader")
     if graph.num_nodes == 0:
         raise ValueError("cannot elect a leader of an empty graph")
     if not is_connected(graph):
         raise ValueError("leader election requires a connected graph")
-    sim = Simulator(graph, ElectionNode, latency=latency, seed=seed, registry=registry)
-    stats = sim.run()
-    results = sim.collect_results()
-    leaders = {res["leader"] for res in results.values()}
+    simulator = Simulator(graph, ElectionNode, config, registry=registry)
+    stats = simulator.run()
+    results = simulator.collect_results()
+    crashed = simulator.crashed
+    survivors = [n for n in graph.nodes() if n not in crashed]
+    if not survivors:
+        raise RuntimeError("every node crashed during the election")
+    leaders = {results[n]["leader"] for n in survivors}
     if len(leaders) != 1:
         raise RuntimeError(f"election did not converge: leaders={leaders!r}")
     (leader,) = leaders
-    parent = {node: res["parent"] for node, res in results.items()}
-    children = {node: res["children"] for node, res in results.items()}
-    _validate_tree(graph, leader, parent, children)
-    return ElectionResult(leader=leader, parent=parent, children=children, stats=stats)
+    parent = {node: results[node]["parent"] for node in survivors}
+    children = {node: results[node]["children"] for node in survivors}
+    if config.faulty:
+        _validate_surviving_tree(leader, parent, children)
+    else:
+        _validate_tree(graph, leader, parent, children)
+    return ElectionResult(
+        leader=leader, parent=parent, children=children, stats=stats,
+        crashed=crashed,
+    )
+
+
+def _validate_surviving_tree(
+    leader: Hashable,
+    parent: Dict[Hashable, Optional[Hashable]],
+    children: Dict[Hashable, FrozenSet[Hashable]],
+) -> None:
+    """Check every survivor hangs off the root via survivor tree edges.
+
+    Orphans (parent crashed and never re-attached) and parent cycles
+    both show up as unreachable nodes.
+    """
+    survivors = set(parent)
+    if leader not in survivors:
+        raise RuntimeError("elected leader crashed")
+    reached = {leader}
+    frontier = [leader]
+    while frontier:
+        node = frontier.pop()
+        for child in canonical_order(children.get(node, frozenset())):
+            if child in survivors and child not in reached and parent[child] == node:
+                reached.add(child)
+                frontier.append(child)
+    missing = survivors - reached
+    if missing:
+        raise RuntimeError(
+            f"election tree broken by faults: unreachable={sorted(map(repr, missing))!r}"
+        )
 
 
 def _validate_tree(

@@ -19,7 +19,7 @@ from repro.graphs import (
     line_udg,
 )
 from repro.mis import is_maximal_independent_set
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 from repro.spanner import classify_black_edges, measure_dilation, sampled_dilation
 from repro.wcds import (
     algorithm1_centralized,
@@ -50,7 +50,9 @@ def run_theorem5() -> Rows:
     for label, g in _theorem5_instances():
         central = algorithm1_centralized(g)
         dist_sync = algorithm1_distributed(g)
-        dist_async = algorithm1_distributed(g, latency=UniformLatency(seed=4))
+        dist_async = algorithm1_distributed(
+            g, sim=SimConfig(latency=UniformLatency(seed=4))
+        )
         rows.append(
             {
                 "workload": label,

@@ -1,0 +1,29 @@
+"""Declarative fault injection and the chaos harness.
+
+``repro.faults`` describes adverse conditions (``FaultPlan``: loss
+bursts, crashes/revivals, temporary partitions) and drives chaos
+experiments (``run_chaos``) that check the distributed algorithms still
+produce a valid WCDS on the surviving nodes.
+"""
+
+from repro.faults.chaos import (
+    CHAOS_ALGORITHMS,
+    ChaosReport,
+    choose_crash_victims,
+    default_fault_plan,
+    run_chaos,
+)
+from repro.faults.plan import Crash, FaultPlan, LossBurst, Partition, Revive
+
+__all__ = [
+    "CHAOS_ALGORITHMS",
+    "ChaosReport",
+    "Crash",
+    "FaultPlan",
+    "LossBurst",
+    "Partition",
+    "Revive",
+    "choose_crash_victims",
+    "default_fault_plan",
+    "run_chaos",
+]

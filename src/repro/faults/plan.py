@@ -1,0 +1,280 @@
+"""Declarative fault plans for chaos experiments.
+
+A :class:`FaultPlan` is a schedule of adverse events — loss bursts,
+node crashes/revivals, and temporary partitions — that the simulator
+executes at the stated simulated times.  Plans are plain frozen data:
+they can be built programmatically, round-tripped through JSON (for the
+``repro chaos --plan`` CLI flag), time-shifted when an algorithm runs
+several back-to-back simulations (Algorithm I's three phases), and
+inspected statically (``final_dead`` tells the chaos harness which
+nodes are expected to survive before anything runs).
+
+Times are simulated seconds relative to the start of the run the plan
+is attached to.  All event classes are frozen; ``FaultPlan`` methods
+return new plans.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Hashable, List, Tuple
+
+from repro.graphs.graph import canonical_order
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class LossBurst:
+    """Elevated message loss over ``[start, end)``.
+
+    During the burst the simulator drops each delivery independently
+    with probability ``max(rate, base loss rate)``; overlapping bursts
+    combine by taking the maximum rate.
+    """
+
+    start: float
+    end: float
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError("burst rate must be in [0, 1)")
+        if self.end < self.start:
+            raise ValueError("burst end must be >= start")
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True)
+class Crash:
+    """Node ``node`` crashes at ``time`` (stops sending and receiving)."""
+
+    time: float
+    node: Node
+
+
+@dataclass(frozen=True)
+class Revive:
+    """Node ``node`` comes back at ``time`` with whatever state it had."""
+
+    time: float
+    node: Node
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Links between ``group`` and the rest are cut over ``[start, end)``.
+
+    Deliveries crossing the cut are dropped while the partition is
+    active; links inside the group and inside the remainder are
+    untouched.  ``end=math.inf`` models a partition that never heals.
+    """
+
+    start: float
+    end: float
+    group: FrozenSet[Node] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("partition end must be >= start")
+        object.__setattr__(self, "group", frozenset(self.group))
+
+    def active_at(self, time: float) -> bool:
+        return self.start <= time < self.end
+
+    def severs(self, u: Node, v: Node) -> bool:
+        return (u in self.group) != (v in self.group)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative schedule of faults the simulator executes."""
+
+    bursts: Tuple[LossBurst, ...] = ()
+    crashes: Tuple[Crash, ...] = ()
+    revivals: Tuple[Revive, ...] = ()
+    partitions: Tuple[Partition, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bursts", tuple(self.bursts))
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        object.__setattr__(self, "revivals", tuple(self.revivals))
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+
+    # ------------------------------------------------------------------
+    # Static inspection
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(
+            self.bursts or self.crashes or self.revivals or self.partitions
+        )
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled state change (0.0 for an empty plan)."""
+        times = [0.0]
+        times.extend(b.end for b in self.bursts if math.isfinite(b.end))
+        times.extend(c.time for c in self.crashes)
+        times.extend(r.time for r in self.revivals)
+        times.extend(p.end for p in self.partitions if math.isfinite(p.end))
+        times.extend(p.start for p in self.partitions)
+        return max(times)
+
+    def dead_at(self, time: float) -> FrozenSet[Node]:
+        """Nodes crashed (and not yet revived) as of ``time``."""
+        dead = set()
+        events: List[Tuple[float, int, Node]] = []
+        for crash in self.crashes:
+            events.append((crash.time, 0, crash.node))
+        for revive in self.revivals:
+            events.append((revive.time, 1, revive.node))
+        events.sort(key=lambda e: (e[0], e[1], repr(e[2])))
+        for when, etype, node in events:
+            if when > time:
+                break
+            if etype == 0:
+                dead.add(node)
+            else:
+                dead.discard(node)
+        return frozenset(dead)
+
+    def final_dead(self) -> FrozenSet[Node]:
+        """Nodes that are crashed once the whole plan has played out.
+
+        This is statically derivable — the chaos harness uses it to know
+        the expected survivor set before running anything.
+        """
+        return self.dead_at(math.inf)
+
+    def loss_rate_at(self, time: float, base: float = 0.0) -> float:
+        """Effective loss rate at ``time`` (max of base and active bursts)."""
+        rate = base
+        for burst in self.bursts:
+            if burst.active_at(time):
+                rate = max(rate, burst.rate)
+        return rate
+
+    def active_partitions(self, time: float) -> Tuple[Partition, ...]:
+        return tuple(p for p in self.partitions if p.active_at(time))
+
+    def boundary_times(self) -> Tuple[float, ...]:
+        """All times at which the plan changes the simulator's state."""
+        times = set()
+        for burst in self.bursts:
+            times.add(burst.start)
+            if math.isfinite(burst.end):
+                times.add(burst.end)
+        for crash in self.crashes:
+            times.add(crash.time)
+        for revive in self.revivals:
+            times.add(revive.time)
+        for part in self.partitions:
+            times.add(part.start)
+            if math.isfinite(part.end):
+                times.add(part.end)
+        return tuple(sorted(times))
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def shifted(self, offset: float) -> "FaultPlan":
+        """The same plan with every time moved by ``offset``."""
+        return FaultPlan(
+            bursts=tuple(
+                LossBurst(b.start + offset, b.end + offset, b.rate)
+                for b in self.bursts
+            ),
+            crashes=tuple(Crash(c.time + offset, c.node) for c in self.crashes),
+            revivals=tuple(
+                Revive(r.time + offset, r.node) for r in self.revivals
+            ),
+            partitions=tuple(
+                Partition(p.start + offset, p.end + offset, p.group)
+                for p in self.partitions
+            ),
+        )
+
+    def advanced(self, elapsed: float) -> "FaultPlan":
+        """The residual plan after ``elapsed`` simulated seconds.
+
+        Used by multi-phase algorithms (Algorithm I runs election, then
+        levels, then marking as separate simulations): each phase gets
+        the residual of the plan with its clock rebased to 0.  Nodes
+        already dead at ``elapsed`` reappear as crashes at time 0 so the
+        next phase's simulator starts them dead; still-active bursts and
+        partitions are clipped to start at 0.
+        """
+        shifted = self.shifted(-elapsed)
+        bursts = tuple(
+            LossBurst(max(b.start, 0.0), b.end, b.rate)
+            for b in shifted.bursts
+            if b.end > 0.0
+        )
+        partitions = tuple(
+            Partition(max(p.start, 0.0), p.end, p.group)
+            for p in shifted.partitions
+            if p.end > 0.0
+        )
+        crashes = [c for c in shifted.crashes if c.time > 0.0]
+        revivals = tuple(r for r in shifted.revivals if r.time > 0.0)
+        for node in canonical_order(self.dead_at(elapsed)):
+            crashes.append(Crash(0.0, node))
+        return FaultPlan(
+            bursts=bursts,
+            crashes=tuple(crashes),
+            revivals=revivals,
+            partitions=partitions,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI --plan files)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "bursts": [
+                {"start": b.start, "end": b.end, "rate": b.rate}
+                for b in self.bursts
+            ],
+            "crashes": [{"time": c.time, "node": c.node} for c in self.crashes],
+            "revivals": [
+                {"time": r.time, "node": r.node} for r in self.revivals
+            ],
+            "partitions": [
+                {
+                    "start": p.start,
+                    "end": p.end,
+                    "group": list(canonical_order(p.group)),
+                }
+                for p in self.partitions
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        return cls(
+            bursts=tuple(
+                LossBurst(b["start"], b["end"], b["rate"])
+                for b in data.get("bursts", ())
+            ),
+            crashes=tuple(
+                Crash(c["time"], c["node"]) for c in data.get("crashes", ())
+            ),
+            revivals=tuple(
+                Revive(r["time"], r["node"]) for r in data.get("revivals", ())
+            ),
+            partitions=tuple(
+                Partition(p["start"], p.get("end", math.inf), frozenset(p["group"]))
+                for p in data.get("partitions", ())
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))

@@ -54,6 +54,12 @@ class UnitDiskGraph(Graph):
         self.positions: Dict[Node, Point] = {
             node: _as_point(pos) for node, pos in positions.items()
         }
+        #: Persistent spatial hash (cell size == radius) shared by the
+        #: grid construction and the incremental mutations, so moves and
+        #: joins cost O(local density) instead of an O(n) scan.
+        self._grid: Dict[GridCell, set] = {}
+        for node, pos in self.positions.items():
+            self._grid_insert(node, pos)
         for node in self.positions:
             self.add_node(node)
         if method == "grid":
@@ -67,13 +73,10 @@ class UnitDiskGraph(Graph):
     # Construction
     # ------------------------------------------------------------------
     def _build_edges_grid(self) -> None:
-        cell_size = self.radius
-        grid: Dict[GridCell, List[Node]] = {}
-        for node, pos in self.positions.items():
-            cell = (int(math.floor(pos.x / cell_size)), int(math.floor(pos.y / cell_size)))
-            grid.setdefault(cell, []).append(node)
+        grid = self._grid
         limit = self.radius * self.radius
-        for (cx, cy), members in grid.items():
+        for (cx, cy), cell_members in grid.items():
+            members = sorted(cell_members, key=repr)
             # Within-cell pairs.
             for i, u in enumerate(members):
                 pu = self.positions[u]
@@ -97,6 +100,38 @@ class UnitDiskGraph(Graph):
         for u, v in itertools.combinations(self.positions, 2):
             if distance_squared(self.positions[u], self.positions[v]) <= limit:
                 self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Spatial hash maintenance
+    # ------------------------------------------------------------------
+    def _cell_of(self, pos: Point) -> GridCell:
+        size = self.radius
+        return (int(math.floor(pos.x / size)), int(math.floor(pos.y / size)))
+
+    def _grid_insert(self, node: Node, pos: Point) -> None:
+        self._grid.setdefault(self._cell_of(pos), set()).add(node)
+
+    def _grid_discard(self, node: Node, pos: Point) -> None:
+        cell = self._cell_of(pos)
+        members = self._grid.get(cell)
+        if members is not None:
+            members.discard(node)
+            if not members:
+                del self._grid[cell]
+
+    def _neighbors_near(self, node: Node, pos: Point) -> set:
+        """Nodes within the radius of ``pos`` (excluding ``node``),
+        found by scanning only the 9 surrounding grid cells."""
+        cx, cy = self._cell_of(pos)
+        limit = self.radius * self.radius
+        found = set()
+        for dx, dy in _NEIGHBOR_OFFSETS:
+            for other in self._grid.get((cx + dx, cy + dy), ()):
+                if other != node and distance_squared(
+                    pos, self.positions[other]
+                ) <= limit:
+                    found.add(other)
+        return found
 
     # ------------------------------------------------------------------
     # Geometry-aware queries
@@ -129,19 +164,18 @@ class UnitDiskGraph(Graph):
         """Move ``node`` and update its incident edges.
 
         Returns ``(gained, lost)`` neighbor sets — the link-layer events
-        the maintenance protocol reacts to.  O(n) per move (a scan), which
-        is fine for the mobility experiments' scale.
+        the maintenance protocol reacts to.  The spatial hash makes a
+        move O(local density): only the 9 cells around the new position
+        are scanned.
         """
         if node not in self.positions:
             raise KeyError(f"unknown node {node!r}")
-        self.positions[node] = _as_point(new_position)
-        limit = self.radius * self.radius
-        new_neighbors = {
-            other
-            for other, pos in self.positions.items()
-            if other != node
-            and distance_squared(self.positions[node], pos) <= limit
-        }
+        old_position = self.positions[node]
+        new_position = _as_point(new_position)
+        self._grid_discard(node, old_position)
+        self.positions[node] = new_position
+        self._grid_insert(node, new_position)
+        new_neighbors = self._neighbors_near(node, new_position)
         old_neighbors = set(self.adjacency(node))
         for lost in old_neighbors - new_neighbors:
             self.remove_edge(node, lost)
@@ -152,20 +186,16 @@ class UnitDiskGraph(Graph):
     def add_node_at(self, node: Node, position: Point) -> set:
         """Add a node (a radio turned on) and wire its unit-disk edges.
 
-        Returns the set of neighbors it connected to.  O(n) scan, like
-        :meth:`move_node`.
+        Returns the set of neighbors it connected to.  O(local
+        density) via the spatial hash, like :meth:`move_node`.
         """
         if node in self.positions:
             raise ValueError(f"node {node!r} already exists")
         position = _as_point(position)
         self.positions[node] = position
+        self._grid_insert(node, position)
         self.add_node(node)
-        limit = self.radius * self.radius
-        neighbors = {
-            other
-            for other, pos in self.positions.items()
-            if other != node and distance_squared(position, pos) <= limit
-        }
+        neighbors = self._neighbors_near(node, position)
         for nbr in neighbors:
             self.add_edge(node, nbr)
         return neighbors
@@ -173,11 +203,14 @@ class UnitDiskGraph(Graph):
     def remove_node(self, node: Node) -> None:
         """Remove a node (a radio turned off) and its position."""
         super().remove_node(node)
+        self._grid_discard(node, self.positions[node])
         del self.positions[node]
 
     def copy(self) -> "UnitDiskGraph":
         clone = UnitDiskGraph({}, radius=self.radius)
         clone.positions = dict(self.positions)
+        for node, pos in clone.positions.items():
+            clone._grid_insert(node, pos)
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
         return clone
 

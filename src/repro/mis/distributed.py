@@ -22,13 +22,13 @@ the message delays — which the property tests check against
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional, Set, Tuple
+import warnings
+from typing import Any, Dict, Hashable, Mapping, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
-from repro.mis.centralized import greedy_mis
 from repro.mis.ranking import Rank, id_ranking, validate_ranking
+from repro.sim.config import SimConfig, merge_entry_args
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -56,10 +56,20 @@ class MisNode(ProtocolNode):
         super().__init__(ctx)
         self._ranks = ranks
         self.color = WHITE_STATE
-        self.rank = ranks[self.node_id]
-        self._pending_lower: Set[Hashable] = {
-            nbr for nbr in ctx.neighbors if ranks[nbr] < self.rank
-        }
+        # Under faults a node can be absent from the rank table (it
+        # crashed before the ranking phase finished); such a node never
+        # starts, and live nodes skip unranked neighbors.
+        self.rank = ranks.get(self.node_id)
+        self._pending_lower: Set[Hashable] = (
+            set()
+            if self.rank is None
+            else {
+                nbr
+                for nbr in ctx.neighbors
+                if nbr in ranks and ranks[nbr] < self.rank
+            }
+        )
+        self._black_neighbors: Set[Hashable] = set()
 
     # ------------------------------------------------------------------
     # Protocol rules
@@ -75,11 +85,29 @@ class MisNode(ProtocolNode):
             self._on_gray(msg)
 
     def _on_black(self, msg: Message) -> None:
+        self._black_neighbors.add(msg.sender)
         if self.color == WHITE_STATE:
             self.declare_gray(msg.sender)
 
     def _on_gray(self, msg: Message) -> None:
         self._pending_lower.discard(msg.sender)
+        if self.color == WHITE_STATE and not self._pending_lower:
+            self.declare_black()
+
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Transport liveness hook: release predicates waiting on
+        ``peer`` and repair domination if a dominator died.
+
+        A gray node whose last known dominator crashed rejoins the
+        marking as white; a white node no longer waits for a dead
+        lower-ranked neighbor's declaration.  This can produce two
+        adjacent black nodes (the MIS property is sacrificed), but the
+        set stays dominating — which is what WCDS validity needs.
+        """
+        self._pending_lower.discard(peer)
+        self._black_neighbors.discard(peer)
+        if self.color == GRAY_STATE and not self._black_neighbors:
+            self.color = WHITE_STATE
         if self.color == WHITE_STATE and not self._pending_lower:
             self.declare_black()
 
@@ -100,32 +128,81 @@ class MisNode(ProtocolNode):
         return {"color": self.color}
 
 
+def run_mis(
+    graph: Graph,
+    ranking: Optional[Mapping[Hashable, Rank]] = None,
+    *,
+    seed: Optional[int] = None,
+    tracer=None,
+    registry=None,
+    transport: Any = None,
+    sim: Optional[SimConfig] = None,
+) -> "Any":
+    """Run the marking protocol (unified backbone signature).
+
+    Defaults to id ranking (Algorithm II's MIS phase).  On a fault-free
+    run the result equals ``greedy_mis(graph, ranking)``.  The returned
+    :class:`~repro.wcds.base.BackboneResult` holds the MIS as both the
+    dominator set and the MIS-dominator set (a maximal independent set
+    is dominating, though not necessarily weakly connected); ``meta``
+    carries the colors and the run's :class:`SimStats`.
+    """
+    from repro.wcds.base import BackboneResult
+
+    config = merge_entry_args(sim, seed=seed, transport=transport, where="run_mis")
+    if ranking is None:
+        ranking = id_ranking(graph)
+    if not config.faulty:
+        validate_ranking(graph, ranking)
+    simulator = Simulator(
+        graph, lambda ctx: MisNode(ctx, ranking), config,
+        tracer=tracer, registry=registry,
+    )
+    stats = simulator.run()
+    results = simulator.collect_results()
+    crashed = simulator.crashed
+    survivors = [n for n in graph.nodes() if n not in crashed]
+    undecided = [n for n in survivors if results[n]["color"] == WHITE_STATE]
+    if undecided:
+        raise RuntimeError(f"marking did not terminate: white={undecided!r}")
+    mis = frozenset(
+        n for n in survivors if results[n]["color"] == BLACK_STATE
+    )
+    colors = {n: results[n]["color"] for n in results}
+    meta: Dict[str, Any] = {"colors": colors, "stats": stats, "crashed": crashed}
+    if config.transport_config is not None:
+        from repro.transport.reliable import aggregate_transport
+
+        meta["transport_totals"] = aggregate_transport(results)
+    return BackboneResult(
+        dominators=mis,
+        mis_dominators=mis,
+        algorithm="mis",
+        meta=meta,
+    )
+
+
 def distributed_mis(
     graph: Graph,
     ranking: Optional[Mapping[Hashable, Rank]] = None,
     *,
-    latency: Optional[LatencyModel] = None,
+    latency=None,
     seed: Optional[int] = None,
     registry=None,
 ) -> Tuple[Set[Hashable], SimStats]:
-    """Run the marking protocol; returns ``(MIS, stats)``.
+    """Deprecated shim: old ``(MIS, stats)`` tuple signature.
 
-    Defaults to id ranking (Algorithm II's MIS phase).  The result is
-    guaranteed equal to ``greedy_mis(graph, ranking)``.  A ``registry``
-    (:class:`repro.obs.MetricsRegistry`) receives per-kind message
-    counters.
+    Use :func:`run_mis` (or ``repro.backbone.build("mis", ...)``); it
+    returns a :class:`~repro.wcds.base.BackboneResult`.
     """
-    if ranking is None:
-        ranking = id_ranking(graph)
-    validate_ranking(graph, ranking)
-    sim = Simulator(
-        graph, lambda ctx: MisNode(ctx, ranking), latency=latency, seed=seed,
-        registry=registry,
+    warnings.warn(
+        "distributed_mis() is deprecated; use run_mis() which returns a "
+        "BackboneResult (stats are in result.meta['stats'])",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    stats = sim.run()
-    results = sim.collect_results()
-    undecided = [n for n, res in results.items() if res["color"] == WHITE_STATE]
-    if undecided:
-        raise RuntimeError(f"marking did not terminate: white={undecided!r}")
-    mis = {n for n, res in results.items() if res["color"] == BLACK_STATE}
-    return mis, stats
+    result = run_mis(
+        graph, ranking, seed=seed, registry=registry,
+        sim=SimConfig(latency=latency),
+    )
+    return set(result.dominators), result.meta["stats"]

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, Optional, Tuple
 
 from repro.graphs.graph import Graph
+from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
@@ -159,8 +160,7 @@ class MaintenanceSimulation:
                 DOMINATOR if ctx.node_id in initial else GRAY,
                 period=period,
             ),
-            latency=latency,
-            seed=seed,
+            SimConfig(latency=latency, seed=seed),
         )
         self._started = False
 

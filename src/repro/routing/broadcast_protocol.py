@@ -23,8 +23,8 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
+from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -104,17 +104,15 @@ def _run(
     graph: Graph,
     source: Hashable,
     forwarders: Optional[FrozenSet[Hashable]],
-    latency: Optional[LatencyModel],
-    seed: Optional[int],
+    config: SimConfig,
 ) -> Tuple[ProtocolBroadcastOutcome, SimStats]:
-    sim = Simulator(
+    simulator = Simulator(
         graph,
         lambda ctx: BroadcastNode(ctx, source, forwarders),
-        latency=latency,
-        seed=seed,
+        config,
     )
-    stats = sim.run()
-    results = sim.collect_results()
+    stats = simulator.run()
+    results = simulator.collect_results()
     received = [res["received_at"] for res in results.values() if res["received_at"] is not None]
     outcome = ProtocolBroadcastOutcome(
         transmissions=sum(1 for res in results.values() if res["transmitted"]),
@@ -129,11 +127,12 @@ def flood_protocol(
     graph: Graph,
     source: Hashable,
     *,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
+    sim: Optional[SimConfig] = None,
+    **legacy,
 ) -> Tuple[ProtocolBroadcastOutcome, SimStats]:
     """Run blind flooding on the simulator."""
-    return _run(graph, source, None, latency, seed)
+    config = coerce_sim_config(sim, legacy, "flood_protocol")
+    return _run(graph, source, None, config)
 
 
 def backbone_protocol(
@@ -141,8 +140,9 @@ def backbone_protocol(
     result: WCDSResult,
     source: Hashable,
     *,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
+    sim: Optional[SimConfig] = None,
+    **legacy,
 ) -> Tuple[ProtocolBroadcastOutcome, SimStats]:
     """Run WCDS-backbone dissemination on the simulator."""
-    return _run(graph, source, frozenset(result.dominators), latency, seed)
+    config = coerce_sim_config(sim, legacy, "backbone_protocol")
+    return _run(graph, source, frozenset(result.dominators), config)

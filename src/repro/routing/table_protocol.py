@@ -27,7 +27,7 @@ from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph, canonical_order
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
+from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -130,8 +130,8 @@ def build_routing_tables(
     graph: Graph,
     result: WCDSResult,
     *,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
+    sim: Optional[SimConfig] = None,
+    **legacy,
 ) -> Tuple[Dict[Hashable, RoutingTable], SimStats]:
     """Run the link-state protocol; returns per-dominator tables.
 
@@ -145,6 +145,7 @@ def build_routing_tables(
             "build_routing_tables needs meta['node_state'] from "
             "algorithm2_distributed"
         )
+    config = coerce_sim_config(sim, legacy, "build_routing_tables")
     mis = set(result.mis_dominators)
 
     def links_of(node: Hashable) -> OverlayLinks:
@@ -153,20 +154,19 @@ def build_routing_tables(
         links.extend((w, 3) for w in state["three_hop_dom"])
         return tuple(sorted(links, key=repr))
 
-    sim = Simulator(
+    simulator = Simulator(
         graph,
         lambda ctx: LinkStateNode(
             ctx,
             ctx.node_id in mis,
             links_of(ctx.node_id) if ctx.node_id in mis else (),
         ),
-        latency=latency,
-        seed=seed,
+        config,
     )
-    stats = sim.run()
+    stats = simulator.run()
     tables = {
         node: res["table"]
-        for node, res in sim.collect_results().items()
+        for node, res in simulator.collect_results().items()
         if res["table"] is not None
     }
     return tables, stats

@@ -8,6 +8,9 @@ are sized for the 100-1000 node deployments the benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.config import SimConfig
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,13 @@ class ServiceConfig:
     #: Smoothing factor of the EWMA refresh-cost estimate used to
     #: decide whether a deadline still fits a synchronous refresh.
     cost_ewma_alpha: float = 0.3
+    #: Simulation settings used when the service (re)runs a distributed
+    #: construction; ``None`` keeps the centralized rebuild path.
+    sim: Optional[SimConfig] = None
+    #: While a partition fault is active, answer queries from the
+    #: last-good snapshot (marked stale) instead of refreshing on a
+    #: topology that is known to be split.
+    degrade_on_partition: bool = True
 
     def __post_init__(self) -> None:
         if not 0.0 < self.rebuild_threshold <= 1.0:

@@ -91,6 +91,10 @@ class BackboneService:
         self._pending: List[Tuple] = []
         self._dirt = 0.0
         self._version = 0
+        #: Active partition faults (by signal identity) and the last
+        #: known positions of crashed radios, for revival.
+        self._active_partitions: set = set()
+        self._crashed_positions: Dict[Hashable, Tuple[float, float]] = {}
         self._plan_cache: Dict[Hashable, Dict[str, object]] = {}
         self._repair_cost = _Ewma(self.config.cost_ewma_alpha)
         self._rebuild_cost = _Ewma(self.config.cost_ewma_alpha)
@@ -137,6 +141,64 @@ class BackboneService:
                 gained=tuple((node, other) for other in gained),
                 lost=tuple((node, other) for other in lost),
             )
+        )
+
+    # ------------------------------------------------------------------
+    # Fault signals (from a chaos run or an external failure detector)
+    # ------------------------------------------------------------------
+    def fault_signal(self, event) -> None:
+        """React to one :mod:`repro.faults` event.
+
+        * :class:`~repro.faults.plan.Crash` — the radio leaves the
+          topology; its position is remembered for a later revival.
+        * :class:`~repro.faults.plan.Revive` — the radio re-joins at
+          its last known position.
+        * :class:`~repro.faults.plan.Partition` — while active (and
+          ``config.degrade_on_partition`` is set) the service serves
+          stale from the last-good snapshot; call :meth:`heal_signal`
+          when it heals.
+        * :class:`~repro.faults.plan.LossBurst` — counted only; the
+          transport layer absorbs loss.
+        """
+        from repro.faults.plan import Crash, LossBurst, Partition, Revive
+
+        if isinstance(event, Crash):
+            node = event.node
+            if node in self.graph:
+                pos = self.graph.position(node)
+                self._crashed_positions[node] = (pos.x, pos.y)
+                self.leave(node)
+            self.metrics.incr("fault_crashes")
+        elif isinstance(event, Revive):
+            position = self._crashed_positions.pop(event.node, None)
+            # No `in self.graph` guard: the crash's leave may still be
+            # pending (absorption is lazy), and the queue preserves the
+            # off-then-on order.
+            if position is not None:
+                self.join(event.node, *position)
+            self.metrics.incr("fault_revivals")
+        elif isinstance(event, Partition):
+            self._active_partitions.add(event)
+            self.metrics.incr("fault_partitions")
+        elif isinstance(event, LossBurst):
+            self.metrics.incr("fault_loss_bursts")
+        else:
+            raise TypeError(f"unknown fault event {event!r}")
+
+    def heal_signal(self, event=None) -> None:
+        """A partition healed; ``None`` clears all active partitions."""
+        if event is None:
+            self._active_partitions.clear()
+        else:
+            self._active_partitions.discard(event)
+        self.metrics.incr("fault_heals")
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the service is in partition-degraded mode."""
+        return (
+            self.config.degrade_on_partition
+            and bool(self._active_partitions)
         )
 
     def _ingest(self, entry: Tuple, seeds, weight: int) -> None:
@@ -332,6 +394,12 @@ class BackboneService:
                 self.metrics.incr("route_cache_hits")
                 return Response(request=request, ok=True, value=cached)
             self.metrics.incr("route_cache_misses")
+        if self.degraded:
+            # Partition-degraded: the topology is known to be split, so
+            # refreshing would bake a disconnected backbone into the
+            # snapshot.  Serve last-good, marked stale.
+            self.metrics.incr("degraded_serves")
+            return self._answer(request, stale=self.has_pending_work)
         stale = self.has_pending_work and not self._can_refresh_within(deadline)
         if not stale:
             self.refresh()

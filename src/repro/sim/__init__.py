@@ -1,5 +1,6 @@
 """Discrete-event message-passing simulator for distributed protocols."""
 
+from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator, run_protocol
 from repro.sim.latency import FixedLatency, UniformLatency
 from repro.sim.messages import Message
@@ -10,6 +11,7 @@ from repro.sim.trace import TraceEvent, TraceRecorder
 __all__ = [
     "TraceEvent",
     "TraceRecorder",
+    "SimConfig",
     "Simulator",
     "run_protocol",
     "FixedLatency",

@@ -1,0 +1,164 @@
+"""Unified simulation configuration.
+
+:class:`SimConfig` replaces the loose ``latency=``/``loss_rate=``/
+``seed=`` keyword arguments that used to be threaded separately through
+``Simulator``, ``run_protocol`` and every algorithm entry point.  One
+frozen value now describes the whole radio environment — latency model,
+ambient loss, the optional declarative :class:`~repro.faults.plan.FaultPlan`
+the simulator executes, and the optional reliable-transport
+configuration protocols run over.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, Optional
+
+from repro.faults.plan import FaultPlan
+from repro.sim.latency import LatencyModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.config import TransportConfig
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything a simulation needs to know about its environment.
+
+    Attributes:
+        latency: delivery-latency model (``None`` = fixed unit latency,
+            the synchronous round model of the paper's theorems).
+        loss_rate: ambient per-delivery loss probability in ``[0, 1)``.
+        seed: seed for the loss RNG (and anything else the simulator
+            randomizes); ``None`` = nondeterministic.
+        max_events: livelock guard passed to ``Simulator.run``.
+        fault_plan: declarative chaos schedule the simulator executes
+            (loss bursts, crashes/revivals, partitions).
+        transport: when set, every protocol node is wrapped in the
+            reliable transport (ack/retransmit, duplicate suppression,
+            liveness heartbeats).  ``True`` selects the default
+            :class:`~repro.transport.config.TransportConfig`.
+    """
+
+    latency: Optional[LatencyModel] = None
+    loss_rate: float = 0.0
+    seed: Optional[int] = None
+    max_events: int = 10_000_000
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    transport: Any = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        if self.max_events <= 0:
+            raise ValueError("max_events must be positive")
+        if self.fault_plan is None:
+            object.__setattr__(self, "fault_plan", FaultPlan())
+        if self.transport is True:
+            from repro.transport.config import TransportConfig
+
+            object.__setattr__(self, "transport", TransportConfig())
+
+    @property
+    def transport_config(self) -> "Optional[TransportConfig]":
+        """The transport configuration, or ``None`` when disabled."""
+        return self.transport or None
+
+    @property
+    def faulty(self) -> bool:
+        """True when the config injects any fault (loss or plan)."""
+        return bool(self.fault_plan) or self.loss_rate > 0.0
+
+    def with_plan(self, plan: Optional[FaultPlan]) -> "SimConfig":
+        """A copy with ``fault_plan`` replaced."""
+        return replace(self, fault_plan=plan if plan is not None else FaultPlan())
+
+    def reseeded(self, seed: Optional[int]) -> "SimConfig":
+        """A copy with a different RNG seed."""
+        return replace(self, seed=seed)
+
+
+_LEGACY_SIM_KWARGS = ("latency", "loss_rate", "seed", "max_events")
+
+
+def coerce_sim_config(
+    config: Optional[SimConfig], legacy: Dict[str, Any], where: str
+) -> SimConfig:
+    """Fold deprecated loose kwargs into a :class:`SimConfig`.
+
+    Emits exactly one DeprecationWarning per call regardless of how many
+    legacy kwargs were passed; raises ``TypeError`` for unknown kwargs.
+    """
+    unknown = [k for k in legacy if k not in _LEGACY_SIM_KWARGS]
+    if unknown:
+        raise TypeError(
+            f"{where}() got unexpected keyword arguments {sorted(unknown)!r}"
+        )
+    if not legacy:
+        return config if config is not None else SimConfig()
+    warnings.warn(
+        f"passing {sorted(legacy)!r} to {where}() is deprecated; "
+        "pass a SimConfig instead (e.g. "
+        "SimConfig(latency=..., loss_rate=..., seed=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    if config is None:
+        config = SimConfig()
+    fields = {
+        "latency": config.latency,
+        "loss_rate": config.loss_rate,
+        "seed": config.seed,
+        "max_events": config.max_events,
+    }
+    fields.update(legacy)
+    return SimConfig(
+        latency=fields["latency"],
+        loss_rate=fields["loss_rate"],
+        seed=fields["seed"],
+        max_events=fields["max_events"],
+        fault_plan=config.fault_plan,
+        transport=config.transport,
+    )
+
+
+def merge_entry_args(
+    sim: Optional[SimConfig],
+    *,
+    seed: Optional[int] = None,
+    transport: Any = None,
+    legacy: Optional[Dict[str, Any]] = None,
+    where: str = "run",
+) -> SimConfig:
+    """Resolve a unified backbone entry point's arguments to a config.
+
+    The unified signature is ``run(graph, *, seed=None, tracer=None,
+    registry=None, transport=None, sim=None)``: ``seed`` and
+    ``transport`` are first-class conveniences that override the
+    corresponding :class:`SimConfig` fields; anything in ``legacy``
+    (e.g. the deprecated ``latency=`` kwarg) warns once and is folded
+    in, with explicit values taking precedence over the config's.
+    """
+    legacy = dict(legacy or {})
+    unknown = [k for k in legacy if k not in _LEGACY_SIM_KWARGS]
+    if unknown:
+        raise TypeError(
+            f"{where}() got unexpected keyword arguments {sorted(unknown)!r}"
+        )
+    if legacy:
+        warnings.warn(
+            f"passing {sorted(legacy)!r} to {where}() is deprecated; "
+            "pass sim=SimConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    config = sim if sim is not None else SimConfig()
+    updates: Dict[str, Any] = dict(legacy)
+    if seed is not None:
+        updates["seed"] = seed
+    if transport is not None:
+        updates["transport"] = transport
+    if updates:
+        config = replace(config, **updates)
+    return config

@@ -19,7 +19,8 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.graphs.graph import Graph, canonical_order
-from repro.sim.latency import FixedLatency, LatencyModel
+from repro.sim.config import SimConfig, coerce_sim_config
+from repro.sim.latency import FixedLatency
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -28,6 +29,7 @@ NodeFactory = Callable[[NodeContext], ProtocolNode]
 
 _DELIVER = 0
 _TIMER = 1
+_FAULT = 2
 
 
 class _SchedulePerturbation:
@@ -75,15 +77,14 @@ class Simulator:
         self,
         graph: Graph,
         node_factory: NodeFactory,
+        config: Optional[SimConfig] = None,
         *,
-        latency: Optional[LatencyModel] = None,
-        loss_rate: float = 0.0,
-        seed: Optional[int] = None,
         tracer=None,
         registry=None,
+        **legacy: Any,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
+        config = coerce_sim_config(config, legacy, "Simulator")
+        self.config = config
         self.graph = graph
         self.tracer = tracer
         self.registry = registry
@@ -101,19 +102,35 @@ class Simulator:
         self._deliveries_by_kind: Dict[str, int] = {}
         self._drops_by_kind: Dict[str, int] = {}
         self._flushed: Dict[Tuple[str, str], int] = {}
-        self.latency = latency if latency is not None else FixedLatency(1.0)
-        self.loss_rate = loss_rate
-        self._rng = random.Random(seed)
+        self.latency = (
+            config.latency if config.latency is not None else FixedLatency(1.0)
+        )
+        self.loss_rate = config.loss_rate
+        self._rng = random.Random(config.seed)
         self.now = 0.0
         self.stats = SimStats()
         self._queue: list = []
         self._seq = itertools.count()
         self._dead: set = set()
         self._started = False
+        # Fault-plan execution state: the ambient plan, the set of nodes
+        # the *plan* currently holds dead (manual crash_node calls are
+        # tracked independently inside ``_dead``), the effective loss
+        # rate, and the currently-severed partition cuts.
+        self._plan = config.fault_plan
+        self._plan_dead: set = set()
+        self._loss_now = config.loss_rate
+        self._cuts: Tuple[Any, ...] = ()
+        factory = node_factory
+        transport_cfg = config.transport_config
+        if transport_cfg is not None:
+            from repro.transport.reliable import with_transport
+
+            factory = with_transport(node_factory, transport_cfg)
         self.nodes: Dict[Hashable, ProtocolNode] = {}
         for node_id in graph.nodes():
             ctx = NodeContext(self, node_id)
-            self.nodes[node_id] = node_factory(ctx)
+            self.nodes[node_id] = factory(ctx)
 
     # ------------------------------------------------------------------
     # Node-facing API (called through NodeContext)
@@ -148,16 +165,23 @@ class Simulator:
         for receiver in audience:
             if receiver in self._dead:
                 continue
-            if self.loss_rate and self._rng.random() < self.loss_rate:
-                self.stats.record_drop()
-                if self.registry is not None:
-                    drops = self._drops_by_kind
-                    drops[message.kind] = drops.get(message.kind, 0) + 1
-                if self.tracer is not None:
-                    self.tracer.on_drop(self.now, receiver, message)
+            if self._cuts and any(p.severs(sender, receiver) for p in self._cuts):
+                self.stats.partition_blocked += 1
+                self._record_loss(receiver, message)
+                continue
+            if self._loss_now and self._rng.random() < self._loss_now:
+                self._record_loss(receiver, message)
                 continue
             delay = self.latency(sender, receiver)
             self._push(self.now + delay, _DELIVER, receiver, message)
+
+    def _record_loss(self, receiver: Hashable, message: Message) -> None:
+        self.stats.record_drop()
+        if self.registry is not None:
+            drops = self._drops_by_kind
+            drops[message.kind] = drops.get(message.kind, 0) + 1
+        if self.tracer is not None:
+            self.tracer.on_drop(self.now, receiver, message)
 
     def schedule_timer(self, node_id: Hashable, delay: float, tag: str) -> None:
         """Schedule an ``on_timer`` callback for a node."""
@@ -184,8 +208,47 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    # ------------------------------------------------------------------
+    # Fault-plan execution
+    # ------------------------------------------------------------------
+    def _apply_plan_state(self, time: float) -> None:
+        """Move the simulator to the plan's state as of ``time``."""
+        plan = self._plan
+        target = set(plan.dead_at(time))
+        for node_id in canonical_order(target - self._plan_dead):
+            self.crash_node(node_id)
+        for node_id in canonical_order(self._plan_dead - target):
+            self.revive_node(node_id)
+        self._plan_dead = target
+        self._loss_now = plan.loss_rate_at(time, base=self.loss_rate)
+        self._cuts = plan.active_partitions(time)
+        self.stats.fault_transitions += 1
+        if self.registry is not None:
+            self.registry.counter(
+                "sim_fault_transitions_total",
+                "Fault-plan state changes applied by the simulator",
+            ).inc()
+        tracer = self.tracer
+        if tracer is not None and hasattr(tracer, "on_fault"):
+            tracer.on_fault(
+                time,
+                {
+                    "dead": tuple(canonical_order(target)),
+                    "loss": self._loss_now,
+                    "partitions": len(self._cuts),
+                },
+            )
+
+    def _schedule_plan(self) -> None:
+        if not self._plan:
+            return
+        self._apply_plan_state(0.0)
+        for when in self._plan.boundary_times():
+            if when > 0.0:
+                self._push(when, _FAULT, None, when)
+
     def run(
-        self, until: Optional[float] = None, max_events: int = 10_000_000
+        self, until: Optional[float] = None, max_events: Optional[int] = None
     ) -> SimStats:
         """Start every node and process events to quiescence.
 
@@ -198,8 +261,13 @@ class Simulator:
         ``until`` deadlines to interleave topology changes); nodes are
         started exactly once, on the first call.
         """
+        if max_events is None:
+            max_events = self.config.max_events
         if not self._started:
             self._started = True
+            # The plan's time-0 state (pre-dead nodes, initial bursts or
+            # partitions) applies before any node starts.
+            self._schedule_plan()
             # Canonical start order, for the same reason transmit sorts
             # its audience: on_start sends seed the event queue.
             for node_id in canonical_order(self.nodes):
@@ -227,6 +295,9 @@ class Simulator:
                 raise RuntimeError(
                     f"protocol did not quiesce within {max_events} events"
                 )
+            if etype == _FAULT:
+                self._apply_plan_state(payload)
+                continue
             if target in self._dead:
                 continue
             node = self.nodes[target]
@@ -283,18 +354,15 @@ class Simulator:
 def run_protocol(
     graph: Graph,
     node_factory: NodeFactory,
+    config: Optional[SimConfig] = None,
     *,
-    latency: Optional[LatencyModel] = None,
-    loss_rate: float = 0.0,
-    seed: Optional[int] = None,
-    max_events: int = 10_000_000,
+    tracer=None,
     registry=None,
+    **legacy: Any,
 ) -> Tuple[Dict[Hashable, Dict[str, Any]], SimStats]:
     """Convenience: build a simulator, run to quiescence, return
     ``(per-node results, stats)``."""
-    sim = Simulator(
-        graph, node_factory, latency=latency, loss_rate=loss_rate, seed=seed,
-        registry=registry,
-    )
-    stats = sim.run(max_events=max_events)
+    config = coerce_sim_config(config, legacy, "run_protocol")
+    sim = Simulator(graph, node_factory, config, tracer=tracer, registry=registry)
+    stats = sim.run()
     return sim.collect_results(), stats

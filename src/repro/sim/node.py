@@ -77,6 +77,18 @@ class ProtocolNode:
     def on_timer(self, tag: str) -> None:
         """Called when a timer set via ``ctx.set_timer`` fires."""
 
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Called when the reliable transport declares ``peer`` dead.
+
+        Only fires when the protocol runs over :mod:`repro.transport`;
+        the default is a no-op.  Protocols override it to release
+        waiting predicates that reference the lost neighbor (see the
+        MIS/WCDS implementations).
+        """
+
+    def on_neighbor_up(self, peer: Hashable) -> None:
+        """Called when a previously-suspected neighbor is heard again."""
+
     def result(self) -> Dict[str, Any]:
         """Protocol outcome for this node, collected after the run.
 

@@ -29,6 +29,8 @@ class SimStats:
     events_processed: int = 0
     first_send_by_kind: Dict[str, float] = field(default_factory=dict)
     last_send_by_kind: Dict[str, float] = field(default_factory=dict)
+    partition_blocked: int = 0
+    fault_transitions: int = 0
 
     def record_send(
         self, sender: Hashable, kind: str, payload_size: int = 1, time: float = 0.0

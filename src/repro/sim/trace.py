@@ -17,6 +17,7 @@ from repro.sim.messages import Message
 SEND = "send"
 DELIVER = "deliver"
 DROP = "drop"
+FAULT = "fault"
 
 
 @dataclass(frozen=True)
@@ -33,6 +34,8 @@ class TraceEvent:
     def format(self) -> str:
         """One transcript line."""
         target = "*" if self.dest is None else str(self.dest)
+        if self.action == FAULT:
+            return f"[{self.time:8.2f}] !! FAULT {self.kind}"
         if self.action == SEND:
             return f"[{self.time:8.2f}] {self.sender} -> {target}  {self.kind}"
         arrow = "==" if self.action == DELIVER else "xx"
@@ -77,6 +80,15 @@ class TraceRecorder:
             TraceEvent(time, DROP, receiver, message.kind, message.sender, message.dest)
         )
 
+    def on_fault(self, time: float, state: Dict[str, object]) -> None:
+        """Log a fault-plan transition (dead set / loss / partition change)."""
+        label = (
+            f"dead={len(state.get('dead', ()))} "  # type: ignore[arg-type]
+            f"loss={state.get('loss', 0.0)} "
+            f"partitions={state.get('partitions', 0)}"
+        )
+        self._append(TraceEvent(time, FAULT, None, label, None, None))
+
     def _append(self, event: TraceEvent) -> None:
         if self.registry is not None:
             self.registry.counter(
@@ -120,7 +132,7 @@ class TraceRecorder:
 
     def summary(self) -> Dict[str, object]:
         """Event totals by action, plus the truncation signal."""
-        counts = {SEND: 0, DELIVER: 0, DROP: 0}
+        counts = {SEND: 0, DELIVER: 0, DROP: 0, FAULT: 0}
         for event in self.events:
             counts[event.action] += 1
         return {
@@ -128,6 +140,7 @@ class TraceRecorder:
             "sends": counts[SEND],
             "delivers": counts[DELIVER],
             "drops": counts[DROP],
+            "faults": counts[FAULT],
             "truncated": self.truncated,
             "dropped_events": self.dropped_events,
         }

@@ -1,0 +1,75 @@
+"""Reliable-transport tuning knobs.
+
+The defaults are sized for the simulator's unit-latency radio model:
+one hop takes ~1 simulated second, an acknowledgement is delayed up to
+``ack_delay`` for batching, so the first retransmission timeout must
+cover a round trip plus the ack delay with slack.  Retries back off
+exponentially; ``max_retries`` bounds how long a sender keeps trying
+before it declares the receiver dead (at 30% loss the probability of
+falsely declaring a live neighbor dead after 12 attempts is
+``0.3^12 ≈ 5e-7``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Parameters of the per-neighbor ack/retransmit machinery.
+
+    Attributes:
+        ack_timeout: seconds before the first retransmission of an
+            unacknowledged message.
+        backoff: multiplier applied to the retransmission timeout after
+            every attempt (exponential backoff).
+        max_backoff: cap on the retransmission timeout.
+        max_retries: attempts before the sender gives up and declares
+            the unresponsive receiver dead.
+        ack_delay: how long a receiver may hold acknowledgements to
+            batch several sequence numbers into one ACK message.
+        heartbeat_interval: period of the liveness tick; an idle-but-
+            alive node beacons at this rate until it announces FIN.
+        liveness_timeout: silence (no payload, ack, or heartbeat) after
+            which a neighbor enters the ping-probe phase.
+        ping_window_factor: how many ``liveness_timeout`` windows of
+            unanswered pings (one ping per heartbeat beat) before a
+            silent neighbor is finally suspected dead.  Each ping
+            round-trip independently survives loss, so widening the
+            window drives the false-suspicion probability down
+            geometrically: at 30% loss one window (~4 pings) fails
+            ~0.51^4 ≈ 7%, two windows ~0.5%.
+        idle_beats: consecutive quiet ticks before a node announces FIN
+            (it is done sending) and stops beaconing.
+    """
+
+    ack_timeout: float = 4.0
+    backoff: float = 1.6
+    max_backoff: float = 24.0
+    max_retries: int = 12
+    ack_delay: float = 0.5
+    heartbeat_interval: float = 4.0
+    liveness_timeout: float = 13.0
+    ping_window_factor: float = 2.0
+    idle_beats: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_backoff < self.ack_timeout:
+            raise ValueError("max_backoff must be >= ack_timeout")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+        if self.ack_delay < 0:
+            raise ValueError("ack_delay must be non-negative")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.liveness_timeout <= self.heartbeat_interval:
+            raise ValueError("liveness_timeout must exceed heartbeat_interval")
+        if self.ping_window_factor < 1.0:
+            raise ValueError("ping_window_factor must be >= 1")
+        if self.idle_beats < 1:
+            raise ValueError("idle_beats must be >= 1")

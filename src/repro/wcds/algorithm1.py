@@ -28,7 +28,7 @@ property tests check.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances, is_connected
@@ -38,12 +38,13 @@ from repro.mis.ranking import level_ranking
 from repro.election.protocol import ElectionResult, elect_leader
 from repro.obs.cost import annotate_phase as _annotate_phase
 from repro.obs.tracing import get_tracer
+from repro.sim.config import SimConfig, merge_entry_args
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
-from repro.wcds.base import WCDSResult
+from repro.transport.reliable import aggregate_transport
+from repro.wcds.base import BackboneResult, WCDSResult
 
 LEVEL = "LEVEL"
 COMPLETE = "COMPLETE"
@@ -89,6 +90,7 @@ class LevelCalculationNode(ProtocolNode):
         self.neighbor_levels: Dict[Hashable, int] = {}
         self._pending_complete: Set[Hashable] = set(children)
         self.tree_complete = False
+        self._parent_down = False
 
     def on_start(self) -> None:
         if self.parent is None:
@@ -99,9 +101,24 @@ class LevelCalculationNode(ProtocolNode):
             self.neighbor_levels[msg.sender] = msg["level"]
             if msg.sender == self.parent and self.level is None:
                 self._announce(msg["level"] + 1)
+            elif self._parent_down and self.level is None:
+                # Our tree parent crashed before leveling us; adopt a
+                # level from any leveled neighbor instead.
+                self._announce(msg["level"] + 1)
         elif msg.kind == COMPLETE:
             self._pending_complete.discard(msg.sender)
             self._maybe_complete()
+
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Transport liveness hook: stop waiting for a dead child's
+        COMPLETE; if our parent died before leveling us, adopt the
+        smallest level already heard from any neighbor."""
+        self._pending_complete.discard(peer)
+        if peer == self.parent and self.level is None:
+            self._parent_down = True
+            if self.neighbor_levels:
+                self._announce(min(self.neighbor_levels.values()) + 1)
+        self._maybe_complete()
 
     def _announce(self, level: int) -> None:
         self.level = level
@@ -126,39 +143,57 @@ class LevelCalculationNode(ProtocolNode):
 def _run_level_phase(
     graph: Graph,
     election: ElectionResult,
+    config: Optional[SimConfig] = None,
     *,
-    latency: Optional[LatencyModel] = None,
-    seed: Optional[int] = None,
     registry=None,
-) -> Tuple[Dict[Hashable, int], SimStats]:
-    """Run phase 2; returns ``(levels, stats)``."""
+    **legacy: Any,
+) -> Tuple[Dict[Hashable, int], SimStats, FrozenSet[Hashable]]:
+    """Run phase 2; returns ``(levels, stats, crashed)``.
+
+    Under a faulty config, completeness is only required of the
+    survivors and the COMPLETE-echo barrier is waived (each phase is
+    already run to quiescence, which is a stronger barrier).
+    """
+    from repro.sim.config import coerce_sim_config
+
+    config = coerce_sim_config(config, legacy, "_run_level_phase")
     sim = Simulator(
         graph,
         lambda ctx: LevelCalculationNode(
-            ctx, election.parent[ctx.node_id], election.children[ctx.node_id]
+            ctx,
+            election.parent.get(ctx.node_id),
+            election.children.get(ctx.node_id, frozenset()),
         ),
-        latency=latency,
-        seed=seed,
+        config,
         registry=registry,
     )
     stats = sim.run()
     results = sim.collect_results()
-    unleveled = [n for n, res in results.items() if res["level"] is None]
+    crashed = sim.crashed
+    survivors = [n for n in graph.nodes() if n not in crashed]
+    unleveled = [n for n in survivors if results[n]["level"] is None]
     if unleveled:
         raise RuntimeError(f"level calculation did not reach: {unleveled!r}")
-    if not results[election.leader]["complete"]:
+    if not config.faulty and not results[election.leader]["complete"]:
         raise RuntimeError("COMPLETE echo never reached the root")
-    return {n: res["level"] for n, res in results.items()}, stats
+    levels = {
+        n: results[n]["level"]
+        for n in results
+        if results[n]["level"] is not None
+    }
+    return levels, stats, crashed
 
 
 def algorithm1_distributed(
     graph: Graph,
     *,
-    latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
     tracer=None,
     registry=None,
-) -> WCDSResult:
+    transport: Any = None,
+    sim: Optional[SimConfig] = None,
+    **legacy: Any,
+) -> BackboneResult:
     """Run the full three-phase distributed Algorithm I.
 
     Phases run back to back (each simulated to quiescence — in a real
@@ -173,32 +208,53 @@ def algorithm1_distributed(
     per-phase ``protocol_phase_messages_total`` /
     ``protocol_phase_rounds_total``.
     """
+    config = merge_entry_args(
+        sim, seed=seed, transport=transport, legacy=legacy,
+        where="algorithm1_distributed",
+    )
+    plan = config.fault_plan
     if tracer is None:
         tracer = get_tracer()
     with tracer.span("algorithm1", n=graph.num_nodes) as run_span:
+        # Each phase is a separate simulation run back to back, so the
+        # fault plan's clock is rebased at every phase boundary: a
+        # crash scheduled mid-run lands in whichever phase is active
+        # at that simulated time.
+        elapsed = 0.0
         with tracer.span("election") as span:
             election = elect_leader(
-                graph, latency=latency, seed=seed, registry=registry
+                graph, sim=config.with_plan(plan.advanced(elapsed)),
+                registry=registry,
             )
             _annotate_phase(span, registry, "1", "election", election.stats)
+            elapsed += election.stats.finish_time
         with tracer.span("levels") as span:
-            levels, level_stats = _run_level_phase(
-                graph, election, latency=latency, seed=seed, registry=registry
+            levels, level_stats, crashed = _run_level_phase(
+                graph, election, config.with_plan(plan.advanced(elapsed)),
+                registry=registry,
             )
             _annotate_phase(span, registry, "1", "levels", level_stats)
+            elapsed += level_stats.finish_time
         with tracer.span("marking") as span:
-            ranking = level_ranking(graph, levels)
-            sim = Simulator(
-                graph, lambda ctx: MisNode(ctx, ranking), latency=latency,
-                seed=seed, registry=registry,
+            if config.faulty:
+                ranking = {n: (levels[n], n) for n in levels}
+            else:
+                ranking = level_ranking(graph, levels)
+            marking_sim = Simulator(
+                graph, lambda ctx: MisNode(ctx, ranking),
+                config.with_plan(plan.advanced(elapsed)),
+                registry=registry,
             )
-            marking_stats = sim.run()
+            marking_stats = marking_sim.run()
             _annotate_phase(span, registry, "1", "marking", marking_stats)
-        colors = {n: res["color"] for n, res in sim.collect_results().items()}
-        undecided = [n for n, color in colors.items() if color == "white"]
+        results = marking_sim.collect_results()
+        crashed = marking_sim.crashed
+        survivors = [n for n in graph.nodes() if n not in crashed]
+        colors = {n: res["color"] for n, res in results.items()}
+        undecided = [n for n in survivors if colors[n] == "white"]
         if undecided:
             raise RuntimeError(f"color marking did not terminate: {undecided!r}")
-        mis = frozenset(n for n, color in colors.items() if color == "black")
+        mis = frozenset(n for n in survivors if colors[n] == "black")
         phase_stats = {
             "election": election.stats,
             "levels": level_stats,
@@ -209,15 +265,21 @@ def algorithm1_distributed(
         run_span.set_attr("messages", total_messages)
         run_span.set_attr("rounds", finish_time)
         run_span.set_attr("backbone", len(mis))
-    return WCDSResult(
+    meta = {
+        "leader": election.leader,
+        "levels": levels,
+        "colors": colors,
+        "phase_stats": phase_stats,
+        "total_messages": total_messages,
+        "finish_time": finish_time,
+    }
+    if config.transport_config is not None:
+        meta["transport_totals"] = aggregate_transport(results)
+    if crashed:
+        meta["crashed"] = crashed
+    return BackboneResult(
         dominators=mis,
         mis_dominators=mis,
-        meta={
-            "leader": election.leader,
-            "levels": levels,
-            "colors": colors,
-            "phase_stats": phase_stats,
-            "total_messages": total_messages,
-            "finish_time": finish_time,
-        },
+        algorithm="algorithm1",
+        meta=meta,
     )

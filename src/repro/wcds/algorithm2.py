@@ -39,7 +39,7 @@ latency the race cannot occur.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
+from typing import Any, Dict, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import bfs_distances, is_connected
@@ -47,12 +47,13 @@ from repro.mis.centralized import greedy_mis
 from repro.mis.distributed import MisNode
 from repro.mis.ranking import id_ranking
 from repro.obs.tracing import get_tracer
+from repro.sim.config import SimConfig, merge_entry_args
 from repro.sim.engine import Simulator
-from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext
 from repro.sim.stats import SimStats
-from repro.wcds.base import WCDSResult
+from repro.transport.reliable import aggregate_transport
+from repro.wcds.base import BackboneResult, WCDSResult
 
 MIS_DOMINATOR = "MIS-DOMINATOR"
 GRAY = "GRAY"
@@ -220,6 +221,16 @@ class Algorithm2Node(MisNode):
         if dominator not in self.two_hop_dom:
             self.three_hop_dom.setdefault(dominator, (msg["x"], msg["v"]))
 
+    def on_neighbor_down(self, peer: Hashable) -> None:
+        """Transport liveness hook: forget a dead peer so the "heard
+        from every neighbor" barriers (which compare against the live
+        neighbor view) can still be met."""
+        super().on_neighbor_down(peer)
+        self.one_hop_dom.discard(peer)
+        self._gray_neighbors.discard(peer)
+        self._maybe_send_one_hop()
+        self._maybe_send_two_hop()
+
     def result(self) -> Dict[str, object]:
         return {
             "color": self.color,
@@ -257,11 +268,13 @@ def _phase_messages(stats: SimStats) -> Dict[str, Dict[str, float]]:
 def algorithm2_distributed(
     graph: Graph,
     *,
-    latency: Optional[LatencyModel] = None,
     seed: Optional[int] = None,
     tracer=None,
     registry=None,
-) -> WCDSResult:
+    transport: Any = None,
+    sim: Optional[SimConfig] = None,
+    **legacy: Any,
+) -> BackboneResult:
     """Run the full Algorithm II protocol to quiescence.
 
     ``meta`` carries each node's dominator lists (the routing state
@@ -275,6 +288,10 @@ def algorithm2_distributed(
     message counts and simulated-time windows, not wall-clock slices),
     and a ``registry`` receives per-kind and per-phase counters.
     """
+    config = merge_entry_args(
+        sim, seed=seed, transport=transport, legacy=legacy,
+        where="algorithm2_distributed",
+    )
     if graph.num_nodes == 0:
         raise ValueError("Algorithm II requires a non-empty graph")
     if not is_connected(graph):
@@ -283,11 +300,11 @@ def algorithm2_distributed(
         tracer = get_tracer()
     with tracer.span("algorithm2", n=graph.num_nodes) as run_span:
         ranking = id_ranking(graph)
-        sim = Simulator(
-            graph, lambda ctx: Algorithm2Node(ctx, ranking), latency=latency,
-            seed=seed, registry=registry,
+        simulator = Simulator(
+            graph, lambda ctx: Algorithm2Node(ctx, ranking), config,
+            registry=registry,
         )
-        stats = sim.run()
+        stats = simulator.run()
         phase_messages = _phase_messages(stats)
         for phase, split in phase_messages.items():
             with tracer.span(phase) as span:
@@ -308,21 +325,32 @@ def algorithm2_distributed(
             ).inc(stats.finish_time)
         run_span.set_attr("messages", stats.messages_sent)
         run_span.set_attr("rounds", stats.finish_time)
-        results = sim.collect_results()
-        undecided = [n for n, res in results.items() if res["color"] == "white"]
+        results = simulator.collect_results()
+        crashed = simulator.crashed
+        survivors = [n for n in graph.nodes() if n not in crashed]
+        undecided = [n for n in survivors if results[n]["color"] == "white"]
         if undecided:
             raise RuntimeError(f"marking did not terminate: {undecided!r}")
-        mis = frozenset(n for n, res in results.items() if res["color"] == "black")
+        mis = frozenset(n for n in survivors if results[n]["color"] == "black")
         additional = frozenset(
-            n for n, res in results.items() if res["is_additional"]
+            n for n in survivors if results[n]["is_additional"]
         )
+        # A node can be both under faults: a crashed dominator's slot
+        # re-marked black after an additional-dominator declaration.
+        additional -= mis
         run_span.set_attr("backbone", len(mis | additional))
-    return WCDSResult(
+    meta = {"node_state": results, "stats": stats,
+            "phase_messages": phase_messages}
+    if config.transport_config is not None:
+        meta["transport_totals"] = aggregate_transport(results)
+    if crashed:
+        meta["crashed"] = crashed
+    return BackboneResult(
         dominators=mis | additional,
         mis_dominators=mis,
         additional_dominators=additional,
-        meta={"node_state": results, "stats": stats,
-              "phase_messages": phase_messages},
+        algorithm="algorithm2",
+        meta=meta,
     )
 
 

@@ -100,3 +100,19 @@ class WCDSResult:
             raise AssertionError("result is not a dominating set")
         if not is_connected(self.spanner(graph)):
             raise AssertionError("weakly induced subgraph is not connected")
+
+
+@dataclass(frozen=True)
+class BackboneResult(WCDSResult):
+    """The common return type of every unified backbone entry point.
+
+    Extends :class:`WCDSResult` with the registry name of the algorithm
+    that produced it, so heterogeneous results (paper algorithms,
+    baselines, the bare MIS) can be compared and reported uniformly.
+    Note that not every backbone is a *weakly connected* dominating set
+    — a bare MIS is dominating but may not be weakly connected; use
+    :meth:`WCDSResult.validate` /
+    :func:`is_weakly_connected_dominating_set` to check.
+    """
+
+    algorithm: str = ""

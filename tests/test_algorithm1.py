@@ -10,7 +10,7 @@ from repro.mis import (
     is_maximal_independent_set,
     max_mis_neighbors,
 )
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 from repro.spanner import classify_black_edges
 from repro.wcds import (
     algorithm1_centralized,
@@ -87,7 +87,9 @@ class TestDistributed:
         # Under asynchrony the spanning tree may differ from BFS, but
         # Theorems 4/5 hold for ANY spanning-tree level ranking.
         g = dense_connected_udg(25, seed)
-        result = algorithm1_distributed(g, latency=UniformLatency(seed=seed))
+        result = algorithm1_distributed(
+            g, sim=SimConfig(latency=UniformLatency(seed=seed))
+        )
         assert is_weakly_connected_dominating_set(g, result.dominators)
         assert complementary_subsets_within(g, set(result.dominators), 2)
 

@@ -12,7 +12,7 @@ from repro.graphs import (
     line_udg,
 )
 from repro.mis import greedy_mis, is_maximal_independent_set
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 from repro.spanner import classify_black_edges, measure_dilation
 from repro.wcds import (
     algorithm2_centralized,
@@ -85,7 +85,9 @@ class TestDistributed:
     @settings(max_examples=8, deadline=None)
     def test_async_is_still_wcds(self, seed):
         g = dense_connected_udg(20, seed)
-        result = algorithm2_distributed(g, latency=UniformLatency(seed=seed))
+        result = algorithm2_distributed(
+            g, sim=SimConfig(latency=UniformLatency(seed=seed))
+        )
         assert is_weakly_connected_dominating_set(g, result.dominators)
         assert set(result.mis_dominators) == greedy_mis(g)
 

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.election import elect_leader
 from repro.graphs import Graph, bfs_distances
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 
 from tutils import dense_connected_udg, seeds
 
@@ -62,7 +62,7 @@ class TestSpanningTree:
     @settings(max_examples=10, deadline=None)
     def test_async_tree_is_still_a_spanning_tree(self, seed):
         g = dense_connected_udg(25, seed)
-        result = elect_leader(g, latency=UniformLatency(seed=seed))
+        result = elect_leader(g, sim=SimConfig(latency=UniformLatency(seed=seed)))
         # Parent levels increase by one along tree edges by definition
         # of levels(); every node is reached.
         levels = result.levels()

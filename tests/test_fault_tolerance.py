@@ -9,14 +9,17 @@ corruption:
   nodes and the driver raises instead of returning a bogus set;
 * crashed nodes partition the protocol exactly like the graph;
 * with loss = 0 the protocols are deterministic regardless of seeds.
+
+(The reliable transport in :mod:`repro.transport` lifts these
+limitations; see tests/test_transport.py and tests/test_faults.py.)
 """
 
 import pytest
 
 from repro.graphs import Graph, connected_random_udg, line_udg
-from repro.mis import distributed_mis, greedy_mis, id_ranking
+from repro.mis import greedy_mis, id_ranking, run_mis
 from repro.mis.distributed import MisNode
-from repro.sim import Simulator, UniformLatency
+from repro.sim import SimConfig, Simulator, UniformLatency
 from repro.wcds import algorithm2_distributed
 from repro.wcds.algorithm2 import Algorithm2Node
 
@@ -43,8 +46,8 @@ class TestMessageLoss:
     def test_zero_loss_never_raises(self):
         g = connected_random_udg(25, 3.5, seed=1)
         for seed in range(5):
-            mis, _ = distributed_mis(g, seed=seed)
-            assert mis == greedy_mis(g)
+            result = run_mis(g, seed=seed)
+            assert set(result.dominators) == greedy_mis(g)
 
 
 class TestCrashes:
@@ -79,7 +82,7 @@ class TestDeterminism:
         baseline = algorithm2_distributed(g).mis_dominators
         for seed in range(4):
             result = algorithm2_distributed(
-                g, latency=UniformLatency(seed=seed)
+                g, sim=SimConfig(latency=UniformLatency(seed=seed))
             )
             # The MIS is latency-invariant; connectors may differ but
             # stay valid (checked by validate).
@@ -88,16 +91,14 @@ class TestDeterminism:
 
 
 def _run_mis_with_loss(graph, loss_rate, seed):
-    mis, _ = distributed_mis(graph, seed=seed)  # sanity: lossless works
-    from repro.mis.distributed import distributed_mis as run
+    run_mis(graph, seed=seed)  # sanity: lossless works
 
     # Re-run with loss through the underlying simulator.
     ranking = id_ranking(graph)
     sim = Simulator(
         graph,
         lambda ctx: MisNode(ctx, ranking),
-        loss_rate=loss_rate,
-        seed=seed,
+        SimConfig(loss_rate=loss_rate, seed=seed),
     )
     sim.run()
     results = sim.collect_results()

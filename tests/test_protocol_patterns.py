@@ -7,7 +7,7 @@ from repro.election import elect_leader
 from repro.election.convergecast import converge_cast, count_nodes, tree_maximum
 from repro.graphs import Graph, diameter, line_udg
 from repro.routing.broadcast_protocol import backbone_protocol, flood_protocol
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 from repro.wcds import algorithm2_distributed
 
 from tutils import dense_connected_udg, seeds
@@ -43,7 +43,8 @@ class TestConvergecast:
         values = {node: 1 for node in small_udg.nodes()}
         sync_total, _ = converge_cast(small_udg, values, lambda a, b: a + b)
         async_total, _ = converge_cast(
-            small_udg, values, lambda a, b: a + b, latency=UniformLatency(seed=2)
+            small_udg, values, lambda a, b: a + b,
+            sim=SimConfig(latency=UniformLatency(seed=2)),
         )
         assert sync_total == async_total == small_udg.num_nodes
 
@@ -95,6 +96,6 @@ class TestBroadcastProtocols:
         g = dense_connected_udg(30, 4)
         result = algorithm2_distributed(g)
         outcome, _ = backbone_protocol(
-            g, result, 0, latency=UniformLatency(seed=4)
+            g, result, 0, sim=SimConfig(latency=UniformLatency(seed=4))
         )
         assert outcome.full_coverage

@@ -47,6 +47,9 @@ SUBPACKAGES = [
     "repro.service",
     "repro.obs",
     "repro.check",
+    "repro.transport",
+    "repro.faults",
+    "repro.backbone",
 ]
 
 

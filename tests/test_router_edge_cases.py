@@ -82,10 +82,12 @@ class TestDegenerateTopologies:
 class TestAsyncEndToEnd:
     def test_async_protocol_feeds_working_router(self):
         from repro.graphs import connected_random_udg, hop_distance
-        from repro.sim import UniformLatency
+        from repro.sim import SimConfig, UniformLatency
 
         g = connected_random_udg(45, 4.5, seed=17)
-        result = algorithm2_distributed(g, latency=UniformLatency(seed=17))
+        result = algorithm2_distributed(
+            g, sim=SimConfig(latency=UniformLatency(seed=17))
+        )
         router = ClusterheadRouter(g, result)
         nodes = sorted(g.nodes())
         for src in nodes[:6]:

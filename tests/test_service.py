@@ -412,3 +412,78 @@ class TestWorkload:
             WorkloadConfig(mix=())
         with pytest.raises(ValueError):
             ServiceConfig(rebuild_threshold=0.0)
+
+
+class TestFaultSignals:
+    """Service-layer reaction to repro.faults events: crashes shrink
+    the topology, revivals restore it, and an active partition flips
+    the service into stale-serving degraded mode."""
+
+    def test_crash_then_revive_roundtrip(self, network, service):
+        from repro.faults import Crash, Revive
+
+        victim = max(network.nodes())
+        service.fault_signal(Crash(4.0, victim))
+        service.refresh()
+        assert victim not in service.graph
+        assert service.metrics.counters["fault_crashes"] == 1
+        service.fault_signal(Revive(9.0, victim))
+        service.refresh()
+        assert victim in service.graph
+        assert service.metrics.counters["fault_revivals"] == 1
+        # Queries work against the healed topology.
+        assert service.dominator(victim).ok
+
+    def test_partition_degrades_to_stale_serving(self, network, service):
+        from repro.faults import Crash, Partition
+
+        service.dominator(0)  # build the first snapshot
+        part = Partition(3.0, 12.0, frozenset({0, 1}))
+        service.fault_signal(part)
+        assert service.degraded
+        # A topology event arrives during the partition; the service
+        # answers from the last-good snapshot and marks it stale
+        # rather than rebuilding on a split topology.
+        service.fault_signal(Crash(5.0, max(network.nodes())))
+        response = service.dominator(0)
+        assert response.ok and response.stale
+        assert service.metrics.counters["degraded_serves"] >= 1
+        # Healing restores normal (fresh) service.
+        service.heal_signal(part)
+        assert not service.degraded
+        fresh = service.dominator(0)
+        assert fresh.ok and not fresh.stale
+        assert service.metrics.counters["fault_heals"] == 1
+
+    def test_degradation_can_be_disabled(self, network):
+        from repro.faults import Partition
+
+        svc = BackboneService(network, ServiceConfig(degrade_on_partition=False))
+        svc.fault_signal(Partition(0.0, 5.0, frozenset({0})))
+        assert not svc.degraded
+        assert svc.dominator(0).ok
+
+    def test_unknown_event_rejected(self, service):
+        with pytest.raises(TypeError):
+            service.fault_signal(object())
+
+    def test_loss_burst_is_counted_only(self, network, service):
+        from repro.faults import LossBurst
+
+        before = service.graph.num_nodes
+        service.fault_signal(LossBurst(0.0, 5.0, 0.3))
+        service.refresh()
+        assert service.graph.num_nodes == before
+        assert service.metrics.counters["fault_loss_bursts"] == 1
+
+    def test_revive_before_flush_rejoins(self, network, service):
+        # The crash's leave is still pending when the revival arrives;
+        # the queued off-then-on order must bring the node back.
+        from repro.faults import Crash, Revive
+
+        victim = max(network.nodes())
+        service.fault_signal(Crash(4.0, victim))
+        service.fault_signal(Revive(5.0, victim))
+        service.refresh()
+        assert victim in service.graph
+        assert service.dominator(victim).ok

@@ -13,6 +13,7 @@ from repro.mis import id_ranking
 from repro.mis.distributed import MisNode
 from repro.sim import (
     ProtocolNode,
+    SimConfig,
     Simulator,
     TraceRecorder,
     UniformLatency,
@@ -23,7 +24,9 @@ from tutils import dense_connected_udg
 
 def _trace_of(graph, factory, latency=None, seed=None):
     tracer = TraceRecorder()
-    sim = Simulator(graph, factory, latency=latency, seed=seed, tracer=tracer)
+    sim = Simulator(
+        graph, factory, SimConfig(latency=latency, seed=seed), tracer=tracer
+    )
     sim.run()
     return [(e.time, e.action, e.node, e.kind, e.sender) for e in tracer.events]
 

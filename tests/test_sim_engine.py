@@ -6,6 +6,7 @@ import pytest
 from repro.graphs import Graph, line_udg
 from repro.sim import (
     FixedLatency,
+    SimConfig,
     Message,
     NodeContext,
     ProtocolNode,
@@ -159,7 +160,8 @@ class TestLatencyModels:
     def test_async_flood_still_completes(self):
         g = line_udg(8)
         results, _ = run_protocol(
-            g, lambda ctx: Relay(ctx, origin=0), latency=UniformLatency(seed=3)
+            g, lambda ctx: Relay(ctx, origin=0),
+            SimConfig(latency=UniformLatency(seed=3)),
         )
         assert all(res["got"] for res in results.values())
 
@@ -167,14 +169,14 @@ class TestLatencyModels:
 class TestFaultInjection:
     def test_loss_rate_drops_messages(self):
         g = Graph(edges=[(0, 1)])
-        sim = Simulator(g, Beacon, loss_rate=0.999999, seed=1)
+        sim = Simulator(g, Beacon, SimConfig(loss_rate=0.999999, seed=1))
         stats = sim.run()
         assert stats.dropped == 2
         assert stats.deliveries == 0
 
     def test_invalid_loss_rate(self):
         with pytest.raises(ValueError):
-            Simulator(Graph(nodes=[0]), Beacon, loss_rate=1.0)
+            Simulator(Graph(nodes=[0]), Beacon, SimConfig(loss_rate=1.0))
 
     def test_crashed_node_is_silent(self):
         g = triangle()
@@ -230,7 +232,7 @@ class TestCrashLossInteraction:
     def test_loss_rate_zero_boundary_is_lossless_and_deterministic(self):
         g = triangle()
         _, baseline = run_protocol(g, Beacon)
-        _, lossless = run_protocol(g, Beacon, loss_rate=0.0, seed=123)
+        _, lossless = run_protocol(g, Beacon, SimConfig(loss_rate=0.0, seed=123))
         assert lossless.dropped == 0
         assert lossless.deliveries == baseline.deliveries == 6
         assert lossless.messages_sent == baseline.messages_sent == 3
@@ -240,7 +242,7 @@ class TestCrashLossInteraction:
         # Every potential delivery is exactly one of: delivered,
         # dropped by loss, or skipped because an endpoint was dead.
         g = triangle()
-        sim = Simulator(g, Beacon, loss_rate=0.5, seed=11)
+        sim = Simulator(g, Beacon, SimConfig(loss_rate=0.5, seed=11))
         sim.crash_node(2)  # crashed before start: sends and receives nothing
         stats = sim.run()
         assert stats.messages_sent == 2  # only 0 and 1 transmit
@@ -255,7 +257,7 @@ class TestCrashLossInteraction:
         # loss applies at transmit time, so a delivery that survived
         # the coin flip is not re-dropped when the *sender* crashes.
         g = Graph(edges=[(0, 1)])
-        sim = Simulator(g, Beacon, loss_rate=0.0, seed=5)
+        sim = Simulator(g, Beacon, SimConfig(loss_rate=0.0, seed=5))
         sim.run(until=0.25)
         sim.crash_node(0)
         stats = sim.run()

@@ -3,7 +3,7 @@
 from repro.graphs import Graph, line_udg
 from repro.mis import id_ranking
 from repro.mis.distributed import MisNode
-from repro.sim import Simulator, TraceRecorder
+from repro.sim import SimConfig, Simulator, TraceRecorder
 from repro.wcds.algorithm2 import (
     Algorithm2Node,
     GRAY,
@@ -39,7 +39,9 @@ class TestRecording:
             def on_start(self):
                 self.ctx.broadcast("HI")
 
-        sim = Simulator(g, Beacon, loss_rate=0.999999, seed=1, tracer=tracer)
+        sim = Simulator(
+            g, Beacon, SimConfig(loss_rate=0.999999, seed=1), tracer=tracer
+        )
         sim.run()
         drops = [e for e in tracer.events if e.action == "drop"]
         assert len(drops) == 2

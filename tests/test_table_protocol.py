@@ -5,7 +5,7 @@ from hypothesis import given, settings
 
 from repro.routing import ClusterheadRouter
 from repro.routing.table_protocol import build_routing_tables, _dijkstra_table
-from repro.sim import UniformLatency
+from repro.sim import SimConfig, UniformLatency
 from repro.wcds import algorithm2_centralized, algorithm2_distributed
 
 from tutils import dense_connected_udg, seeds
@@ -81,7 +81,7 @@ class TestProtocol:
         result = algorithm2_distributed(g)
         sync_tables, _ = build_routing_tables(g, result)
         async_tables, _ = build_routing_tables(
-            g, result, latency=UniformLatency(seed=1)
+            g, result, sim=SimConfig(latency=UniformLatency(seed=1))
         )
         for source in sync_tables:
             for target, (_, dist) in sync_tables[source].items():

@@ -141,3 +141,62 @@ class TestDensityScaling:
         positions = {node: tuple(g.positions[node]) for node in g.nodes()}
         reference = nx.random_geometric_graph(60, 1.0, pos=positions)
         assert g.num_edges == reference.number_of_edges()
+
+
+class TestIncrementalGrid:
+    """The persistent spatial grid behind O(local-density) mutations
+    must stay consistent with a from-scratch rebuild under any
+    interleaving of moves, insertions, and removals."""
+
+    @staticmethod
+    def _edge_keys(g):
+        return {frozenset(map(repr, e)) for e in g.edges()}
+
+    @given(seeds)
+    @settings(max_examples=10, deadline=None)
+    def test_mutation_storm_matches_rebuild(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = uniform_random_udg(20, 4.0, rng=rng)
+        next_id = 20
+        for step in range(60):
+            op = rng.random()
+            nodes = list(g.nodes())
+            if op < 0.5 and nodes:
+                node = nodes[rng.randrange(len(nodes))]
+                g.move_node(node, Point(rng.uniform(0, 4), rng.uniform(0, 4)))
+            elif op < 0.75:
+                g.add_node_at(
+                    next_id, Point(rng.uniform(0, 4), rng.uniform(0, 4))
+                )
+                next_id += 1
+            elif len(nodes) > 2:
+                g.remove_node(nodes[rng.randrange(len(nodes))])
+            rebuilt = build_udg(
+                {node: tuple(g.positions[node]) for node in g.nodes()},
+                radius=g.radius,
+            )
+            assert self._edge_keys(g) == self._edge_keys(rebuilt), f"step {step}"
+
+    def test_add_node_reports_new_neighbors(self):
+        g = build_udg([(0.0, 0.0), (3.0, 0.0)])
+        neighbors = g.add_node_at(2, Point(0.5, 0.0))
+        assert neighbors == {0}
+        assert g.has_edge(0, 2) and not g.has_edge(1, 2)
+
+    def test_remove_then_readd_is_clean(self):
+        g = build_udg([(0.0, 0.0), (0.5, 0.0), (3.0, 0.0)])
+        g.remove_node(1)
+        assert 1 not in g
+        g.add_node_at(1, Point(2.5, 0.0))
+        assert g.has_edge(1, 2) and not g.has_edge(0, 1)
+
+    def test_copy_grid_is_independent(self):
+        g = build_udg([(0.0, 0.0), (0.5, 0.0)])
+        clone = g.copy()
+        clone.add_node_at(9, Point(0.2, 0.0))
+        assert 9 not in g
+        assert clone.has_edge(9, 0) and clone.has_edge(9, 1)
+        g.move_node(0, Point(3.0, 3.0))
+        assert clone.has_edge(0, 1)  # clone's grid untouched by g's move

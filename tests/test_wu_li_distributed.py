@@ -12,7 +12,7 @@ from repro.baselines.wu_li_distributed import (
 )
 from repro.graphs import Graph, is_connected
 from repro.mis import is_dominating_set
-from repro.sim import Simulator, UniformLatency
+from repro.sim import SimConfig, Simulator, UniformLatency
 
 from tutils import dense_connected_udg, seeds
 
@@ -78,7 +78,9 @@ class TestDistributedProtocol:
     def test_asynchrony_does_not_change_result(self, seed):
         g = dense_connected_udg(20, seed)
         sync_cds, _ = wu_li_distributed(g)
-        async_cds, _ = wu_li_distributed(g, latency=UniformLatency(seed=seed))
+        async_cds, _ = wu_li_distributed(
+            g, sim=SimConfig(latency=UniformLatency(seed=seed))
+        )
         assert sync_cds == async_cds
 
     def test_exactly_two_messages_per_node(self, small_udg):
