@@ -32,6 +32,18 @@ def test_scale_udg_build_2000(benchmark, positions_2k):
     assert graph.num_nodes == 2000
 
 
+def test_scale_udg_build_5000_vector(benchmark):
+    # The vector kernels make n=5000 cheap enough to benchmark
+    # routinely; cross-checked against the pure grid builder.
+    positions = [
+        tuple(p)
+        for p in uniform_random_udg(5000, 25.0, seed=4).positions.values()
+    ]
+    graph = benchmark(lambda: build_udg(positions, method="vector"))
+    assert graph.num_nodes == 5000
+    assert graph.num_edges == build_udg(positions, method="grid").num_edges
+
+
 def test_scale_algorithm1_centralized_2000(benchmark, udg_2k):
     result = benchmark(lambda: algorithm1_centralized(udg_2k))
     result.validate(udg_2k)

@@ -25,13 +25,20 @@ class Aggregate:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "Aggregate":
-        """Aggregate a non-empty sequence of numbers."""
+        """Aggregate a non-empty sequence of numbers.
+
+        ``std`` is the *sample* standard deviation
+        (:func:`statistics.stdev`, Bessel-corrected): the trials behind
+        an aggregate are a sample of seeds from the population of
+        possible runs, not the population itself.  A single value has
+        sample std 0.0 by convention.
+        """
         if not values:
             raise ValueError("cannot aggregate an empty sequence")
         values = [float(v) for v in values]
         return cls(
             mean=statistics.fmean(values),
-            std=statistics.pstdev(values) if len(values) > 1 else 0.0,
+            std=statistics.stdev(values) if len(values) > 1 else 0.0,
             minimum=min(values),
             maximum=max(values),
             count=len(values),

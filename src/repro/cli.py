@@ -48,6 +48,13 @@ def _add_topology_args(parser: argparse.ArgumentParser) -> None:
         "--load", metavar="FILE", help="load the topology from a JSON file "
         "(overrides --nodes/--side/--seed)"
     )
+    parser.add_argument(
+        "--kernels", choices=["pure", "vector", "auto"], default="auto",
+        help="edge-construction engine: pure Python, the numpy vector "
+        "kernels (repro.kernels), or auto (vector when numpy is "
+        "available and the network is big enough); the topology is "
+        "identical either way",
+    )
 
 
 def _build(args) -> "UnitDiskGraph":
@@ -55,7 +62,15 @@ def _build(args) -> "UnitDiskGraph":
         from repro.graphs import load_topology
 
         return load_topology(args.load)
-    return connected_random_udg(args.nodes, args.side, seed=args.seed)
+    from repro.kernels import resolve_method
+
+    choice = resolve_method(
+        getattr(args, "kernels", "auto"), size=args.nodes
+    )
+    method = "vector" if choice == "vector" else "grid"
+    return connected_random_udg(
+        args.nodes, args.side, seed=args.seed, method=method
+    )
 
 
 def _add_sim_args(parser: argparse.ArgumentParser) -> None:

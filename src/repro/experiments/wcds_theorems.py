@@ -195,6 +195,8 @@ def run_theorem11() -> Rows:
         (60, 5.0, "exact"),
         (100, 6.5, "exact"),
         (250, 10.0, "sampled"),
+        # Affordable since the vector hop kernels took over the sweeps.
+        (400, 12.5, "sampled"),
     ):
         worst_hop = worst_geo = 0.0
         hop_ok = geo_ok = True

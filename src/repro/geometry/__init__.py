@@ -15,7 +15,9 @@ from repro.geometry.point import (
 )
 from repro.geometry.packing import (
     annulus_packing_bound,
+    disk_occupancies,
     disk_packing_bound,
+    max_disk_occupancy,
     max_independent_points_in_annulus,
     mis_neighbors_bound,
     mis_two_hop_bound,
@@ -29,7 +31,9 @@ __all__ = [
     "midpoint",
     "path_length",
     "annulus_packing_bound",
+    "disk_occupancies",
     "disk_packing_bound",
+    "max_disk_occupancy",
     "max_independent_points_in_annulus",
     "mis_neighbors_bound",
     "mis_two_hop_bound",

@@ -11,6 +11,7 @@ the measured extrema against the proven ones.
 from __future__ import annotations
 
 import math
+from typing import List, Sequence, Tuple
 
 
 def disk_packing_bound(radius: float, separation: float = 1.0) -> int:
@@ -87,6 +88,62 @@ def mis_three_hop_bound() -> int:
     strictly, hence at most 47.
     """
     return annulus_packing_bound(1.0, 3.0, separation=1.0)
+
+
+def disk_occupancies(
+    points: Sequence[Tuple[float, float]],
+    centers: Sequence[Tuple[float, float]],
+    radius: float,
+    *,
+    method: str = "auto",
+) -> List[int]:
+    """How many of ``points`` fall within ``radius`` of each center.
+
+    The measured counterpart of the packing *bounds* above: run it with
+    MIS nodes as ``points`` to compare observed disk occupancy against
+    :func:`disk_packing_bound`.  ``method`` picks the engine —
+    ``"pure"`` loops in Python, ``"vector"`` broadcasts all centers at
+    once via :mod:`repro.kernels.disk`, ``"auto"`` decides by workload
+    size; the counts are identical either way.
+    """
+    from repro.kernels import resolve_method
+
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    choice = resolve_method(method, size=len(points) * len(centers))
+    if choice == "pure" or not points:
+        limit = radius * radius
+        counts = []
+        for cx, cy in centers:
+            inside = 0
+            for px, py in points:
+                dx = px - cx
+                dy = py - cy
+                if dx * dx + dy * dy <= limit:
+                    inside += 1
+            counts.append(inside)
+        return counts
+    from repro.kernels.disk import count_points_in_disks
+
+    result = count_points_in_disks(list(points), list(centers), radius)
+    return [int(c) for c in result.tolist()]
+
+
+def max_disk_occupancy(
+    points: Sequence[Tuple[float, float]],
+    radius: float,
+    *,
+    method: str = "auto",
+) -> int:
+    """Largest number of ``points`` inside any disk of ``radius``
+    centred at one of the points themselves (0 for an empty set).
+
+    Used by benchmarks to report measured packing extrema next to the
+    proven Lemma 1/2 bounds.
+    """
+    if not points:
+        return 0
+    return max(disk_occupancies(points, points, radius, method=method))
 
 
 def _strict_floor(value: float) -> int:

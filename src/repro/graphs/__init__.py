@@ -24,11 +24,18 @@ from repro.graphs.traversal import (
     hop_distance,
     is_connected,
     k_hop_neighborhood,
+    multi_source_hop_distances,
     nodes_at_exact_distance,
     set_distance,
     shortest_path,
 )
-from repro.graphs.metrics import GraphStats, edges_per_node, graph_stats
+from repro.graphs.metrics import (
+    GraphStats,
+    HopDistanceStats,
+    edges_per_node,
+    graph_stats,
+    hop_distance_stats,
+)
 from repro.graphs.serialization import load_topology, save_topology
 
 __all__ = [
@@ -53,12 +60,15 @@ __all__ = [
     "hop_distance",
     "is_connected",
     "k_hop_neighborhood",
+    "multi_source_hop_distances",
     "nodes_at_exact_distance",
     "set_distance",
     "shortest_path",
     "GraphStats",
+    "HopDistanceStats",
     "edges_per_node",
     "graph_stats",
+    "hop_distance_stats",
     "load_topology",
     "save_topology",
 ]

@@ -31,14 +31,20 @@ def uniform_random_udg(
     radius: float = 1.0,
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    method: str = "grid",
 ) -> UnitDiskGraph:
-    """``num_nodes`` nodes uniform in a ``side x side`` square."""
+    """``num_nodes`` nodes uniform in a ``side x side`` square.
+
+    ``method`` is the edge-construction engine passed through to
+    :class:`UnitDiskGraph` (``"grid"``, ``"vector"``, or ``"brute"``);
+    every engine builds the identical graph.
+    """
     rng = _resolve_rng(seed, rng)
     positions = {
         i: Point(rng.uniform(0.0, side), rng.uniform(0.0, side))
         for i in range(num_nodes)
     }
-    return UnitDiskGraph(positions, radius=radius)
+    return UnitDiskGraph(positions, radius=radius, method=method)
 
 
 def connected_random_udg(
@@ -48,16 +54,18 @@ def connected_random_udg(
     seed: Optional[int] = None,
     rng: Optional[random.Random] = None,
     max_attempts: int = 200,
+    method: str = "grid",
 ) -> UnitDiskGraph:
     """Uniform random UDG, resampled until connected.
 
     Raises ``RuntimeError`` after ``max_attempts`` failures — a sign the
     chosen density is below the connectivity threshold and the experiment
-    parameters should change rather than loop forever.
+    parameters should change rather than loop forever.  ``method`` is
+    the edge-construction engine, as in :func:`uniform_random_udg`.
     """
     rng = _resolve_rng(seed, rng)
     for _ in range(max_attempts):
-        graph = uniform_random_udg(num_nodes, side, radius, rng=rng)
+        graph = uniform_random_udg(num_nodes, side, radius, rng=rng, method=method)
         if is_connected(graph):
             return graph
     raise RuntimeError(

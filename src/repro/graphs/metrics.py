@@ -6,7 +6,11 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.graphs.graph import Graph
-from repro.graphs.traversal import connected_components, is_connected
+from repro.graphs.traversal import (
+    all_pairs_hop_distances,
+    connected_components,
+    is_connected,
+)
 
 
 @dataclass(frozen=True)
@@ -46,6 +50,52 @@ def graph_stats(graph: Graph) -> GraphStats:
         average_degree=(2.0 * num_edges / num_nodes) if num_nodes else 0.0,
         num_components=len(connected_components(graph)),
         connected=is_connected(graph),
+    )
+
+
+@dataclass(frozen=True)
+class HopDistanceStats:
+    """Hop-distance profile over all connected ordered pairs."""
+
+    num_pairs: int  # ordered (source, target) pairs, source != target
+    mean_hops: float
+    max_hops: int  # hop diameter over the reachable pairs
+
+    def as_row(self) -> Dict[str, float]:
+        """The stats as a flat dict, for table printing."""
+        return {
+            "pairs": self.num_pairs,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.max_hops,
+        }
+
+
+def hop_distance_stats(graph: Graph, *, method: str = "auto") -> HopDistanceStats:
+    """Mean and maximum hop distance over all connected pairs.
+
+    The all-pairs sweep goes through
+    :func:`repro.graphs.traversal.all_pairs_hop_distances`, so ``method``
+    (``"pure"``/``"vector"``/``"auto"``) picks between the per-source
+    BFS oracle and the packed vector kernel; both produce identical
+    statistics.  Disconnected pairs are excluded (not infinite).
+    """
+    distances = all_pairs_hop_distances(graph, method=method)
+    num_pairs = 0
+    total = 0
+    max_hops = 0
+    for per_source in distances.values():
+        reachable = len(per_source) - 1  # drop the source itself
+        if reachable <= 0:
+            continue
+        num_pairs += reachable
+        total += sum(per_source.values())  # source contributes 0
+        row_max = max(per_source.values())
+        if row_max > max_hops:
+            max_hops = row_max
+    return HopDistanceStats(
+        num_pairs=num_pairs,
+        mean_hops=(total / num_pairs) if num_pairs else 0.0,
+        max_hops=max_hops,
     )
 
 

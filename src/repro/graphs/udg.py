@@ -7,20 +7,34 @@ combinatorial graph with node positions — positions are needed to
 *evaluate* geometric dilation even though the paper's algorithms never
 look at them ("position-less spanners").
 
-Construction uses a spatial hash grid with unit-sized cells so building
-the graph is expected O(n + m) rather than the naive O(n²); the brute
-force builder is kept for cross-validation and the construction ablation
-benchmark.
+Construction methods:
+
+* ``"grid"`` (default) — spatial hash with unit-sized cells, expected
+  O(n + m) in pure Python.
+* ``"vector"`` — the same cell binning executed as numpy array passes
+  (:mod:`repro.kernels.udg`); ~5x faster at a few thousand nodes and
+  guaranteed to produce the identical edge set.
+* ``"brute"`` — the O(n²) oracle, kept for cross-validation and the
+  construction ablation benchmark.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.geometry.point import Point, distance_squared, path_length
-from repro.graphs.graph import Graph, Node
+from repro.graphs.graph import Graph, Node, canonical_order
 
 GridCell = Tuple[int, int]
 
@@ -56,16 +70,22 @@ class UnitDiskGraph(Graph):
         }
         #: Persistent spatial hash (cell size == radius) shared by the
         #: grid construction and the incremental mutations, so moves and
-        #: joins cost O(local density) instead of an O(n) scan.
-        self._grid: Dict[GridCell, set] = {}
-        for node, pos in self.positions.items():
-            self._grid_insert(node, pos)
-        for node in self.positions:
-            self.add_node(node)
+        #: joins cost O(local density) instead of an O(n) scan.  Built
+        #: lazily (on first use) for the vector method, where edge
+        #: construction does not need it.
+        self._grid: Optional[Dict[GridCell, Set[Node]]] = None
         if method == "grid":
+            self._build_grid()
+            for node in self.positions:
+                self.add_node(node)
             self._build_edges_grid()
         elif method == "brute":
+            self._build_grid()
+            for node in self.positions:
+                self.add_node(node)
             self._build_edges_brute()
+        elif method == "vector":
+            self._build_edges_vector()
         else:
             raise ValueError(f"unknown construction method {method!r}")
 
@@ -73,10 +93,10 @@ class UnitDiskGraph(Graph):
     # Construction
     # ------------------------------------------------------------------
     def _build_edges_grid(self) -> None:
-        grid = self._grid
+        grid = self._ensure_grid()
         limit = self.radius * self.radius
         for (cx, cy), cell_members in grid.items():
-            members = sorted(cell_members, key=repr)
+            members = canonical_order(cell_members)
             # Within-cell pairs.
             for i, u in enumerate(members):
                 pu = self.positions[u]
@@ -101,32 +121,56 @@ class UnitDiskGraph(Graph):
             if distance_squared(self.positions[u], self.positions[v]) <= limit:
                 self.add_edge(u, v)
 
+    def _build_edges_vector(self) -> None:
+        from repro.kernels.udg import vector_adjacency
+
+        self._adj = vector_adjacency(
+            list(self.positions.items()), self.radius
+        )
+
     # ------------------------------------------------------------------
     # Spatial hash maintenance
     # ------------------------------------------------------------------
+    def _build_grid(self) -> Dict[GridCell, Set[Node]]:
+        grid: Dict[GridCell, Set[Node]] = {}
+        size = self.radius
+        for node, pos in self.positions.items():
+            cell = (int(math.floor(pos.x / size)), int(math.floor(pos.y / size)))
+            grid.setdefault(cell, set()).add(node)
+        self._grid = grid
+        return grid
+
+    def _ensure_grid(self) -> Dict[GridCell, Set[Node]]:
+        """The spatial hash, building it on first use (vector method)."""
+        if self._grid is None:
+            return self._build_grid()
+        return self._grid
+
     def _cell_of(self, pos: Point) -> GridCell:
         size = self.radius
         return (int(math.floor(pos.x / size)), int(math.floor(pos.y / size)))
 
     def _grid_insert(self, node: Node, pos: Point) -> None:
-        self._grid.setdefault(self._cell_of(pos), set()).add(node)
+        self._ensure_grid().setdefault(self._cell_of(pos), set()).add(node)
 
     def _grid_discard(self, node: Node, pos: Point) -> None:
+        grid = self._ensure_grid()
         cell = self._cell_of(pos)
-        members = self._grid.get(cell)
+        members = grid.get(cell)
         if members is not None:
             members.discard(node)
             if not members:
-                del self._grid[cell]
+                del grid[cell]
 
-    def _neighbors_near(self, node: Node, pos: Point) -> set:
+    def _neighbors_near(self, node: Node, pos: Point) -> Set[Node]:
         """Nodes within the radius of ``pos`` (excluding ``node``),
         found by scanning only the 9 surrounding grid cells."""
+        grid = self._ensure_grid()
         cx, cy = self._cell_of(pos)
         limit = self.radius * self.radius
         found = set()
         for dx, dy in _NEIGHBOR_OFFSETS:
-            for other in self._grid.get((cx + dx, cy + dy), ()):
+            for other in grid.get((cx + dx, cy + dy), ()):
                 if other != node and distance_squared(
                     pos, self.positions[other]
                 ) <= limit:
@@ -149,13 +193,84 @@ class UnitDiskGraph(Graph):
         return path_length(self.positions[node] for node in path)
 
     def nodes_within(self, center: Point, radius: float) -> List[Node]:
-        """Nodes whose position lies within ``radius`` of ``center``."""
+        """Nodes whose position lies within ``radius`` of ``center``.
+
+        Routed through the spatial hash: only the grid cells overlapping
+        the query disk's bounding box are scanned, so a local query
+        costs O(occupancy of those cells) instead of O(n).  Falls back
+        to the plain scan when the disk covers more cells than there
+        are nodes.  Results come out in canonical node order.
+        """
+        if radius < 0:
+            raise ValueError("query radius must be non-negative")
+        center = _as_point(center)
         limit = radius * radius
-        return [
-            node
-            for node, pos in self.positions.items()
-            if distance_squared(center, pos) <= limit
+        size = self.radius
+        cx_min = int(math.floor((center.x - radius) / size))
+        cx_max = int(math.floor((center.x + radius) / size))
+        cy_min = int(math.floor((center.y - radius) / size))
+        cy_max = int(math.floor((center.y + radius) / size))
+        num_cells = (cx_max - cx_min + 1) * (cy_max - cy_min + 1)
+        if num_cells >= len(self.positions):
+            return canonical_order(
+                node
+                for node, pos in self.positions.items()
+                if distance_squared(center, pos) <= limit
+            )
+        grid = self._ensure_grid()
+        found: List[Node] = []
+        for cx in range(cx_min, cx_max + 1):
+            for cy in range(cy_min, cy_max + 1):
+                members = grid.get((cx, cy))
+                if not members:
+                    continue
+                found.extend(
+                    node
+                    for node in members
+                    if distance_squared(center, self.positions[node]) <= limit
+                )
+        return canonical_order(found)
+
+    def nodes_within_many(
+        self,
+        centers: Sequence[Point],
+        radius: float,
+        *,
+        method: str = "auto",
+    ) -> List[List[Node]]:
+        """Batch disk query: per center, the nodes within ``radius``.
+
+        ``method`` is ``"pure"`` (one :meth:`nodes_within` per center),
+        ``"vector"`` (one broadcast distance pass over all centers via
+        :mod:`repro.kernels.disk`), or ``"auto"``.  Both produce the
+        same node sets; each result list is in canonical node order.
+        """
+        from repro.kernels import resolve_method
+
+        centers = [_as_point(c) for c in centers]
+        choice = resolve_method(
+            method, size=len(centers) * len(self.positions)
+        )
+        if choice == "pure":
+            return [self.nodes_within(center, radius) for center in centers]
+        from repro.kernels.disk import batch_points_in_disk
+
+        if radius < 0:
+            raise ValueError("query radius must be non-negative")
+        nodes = canonical_order(self.positions)
+        coords = [
+            (self.positions[node].x, self.positions[node].y) for node in nodes
         ]
+        if not coords:
+            return [[] for _ in centers]
+        inside = batch_points_in_disk(
+            coords, [(c.x, c.y) for c in centers], radius
+        )
+        results: List[List[Node]] = []
+        for row in inside:
+            hits = row.nonzero()[0].tolist()
+            results.append([nodes[j] for j in hits])
+        return results
 
     # ------------------------------------------------------------------
     # Mutation under mobility
@@ -183,7 +298,7 @@ class UnitDiskGraph(Graph):
             self.add_edge(node, gained)
         return new_neighbors - old_neighbors, old_neighbors - new_neighbors
 
-    def add_node_at(self, node: Node, position: Point) -> set:
+    def add_node_at(self, node: Node, position: Point) -> Set[Node]:
         """Add a node (a radio turned on) and wire its unit-disk edges.
 
         Returns the set of neighbors it connected to.  O(local
@@ -209,8 +324,7 @@ class UnitDiskGraph(Graph):
     def copy(self) -> "UnitDiskGraph":
         clone = UnitDiskGraph({}, radius=self.radius)
         clone.positions = dict(self.positions)
-        for node, pos in clone.positions.items():
-            clone._grid_insert(node, pos)
+        clone._grid = None  # rebuilt lazily from the copied positions
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
         return clone
 
@@ -238,8 +352,8 @@ def build_udg(
     return UnitDiskGraph(positions, radius=radius, method=method)
 
 
-def _as_point(pos) -> Point:
+def _as_point(pos: object) -> Point:
     if isinstance(pos, Point):
         return pos
-    x, y = pos
+    x, y = pos  # type: ignore[misc]
     return Point(float(x), float(y))

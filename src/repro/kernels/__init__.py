@@ -1,0 +1,66 @@
+"""Vectorized geometry/graph kernels for the measured hot paths.
+
+The pure-Python implementations in :mod:`repro.graphs` and
+:mod:`repro.geometry` are the *oracles*: simple, exact, and
+dependency-free.  This package holds numpy-vectorized twins of the
+three paths the benchmarks actually measure:
+
+* **UDG edge construction** (:func:`vector_udg_edges`,
+  :func:`vector_adjacency`) — sorted cell binning plus blockwise
+  pairwise ``distance_squared`` over the 9-cell neighborhoods, exposed
+  as ``UnitDiskGraph(..., method="vector")``.
+* **Multi-source hop distances** (:func:`packed_hop_distances`,
+  :func:`vector_all_pairs_hop_distances`) — frontier BFS over packed
+  source-bitsets (one ``bitwise_or.reduceat`` per level), used by
+  ``all_pairs_hop_distances(..., method="vector")`` and the Theorem 11
+  dilation measurements.  Best on the paper's dense, low-diameter
+  deployments; on path-like (high-diameter) graphs the per-level matrix
+  work loses to the pure BFS oracle.
+* **Batch disk queries** (:func:`points_in_disk`,
+  :func:`batch_points_in_disk`, :func:`count_points_in_disks`) — used
+  by ``UnitDiskGraph.nodes_within_many`` and the measured packing
+  extrema in :mod:`repro.geometry.packing`.
+
+Every kernel computes squared distances with the same float64
+operations in the same order as the oracles, so results are *exactly*
+equal, not approximately — the equivalence tests assert set equality,
+never closeness.
+
+numpy is a declared dependency, but the package degrades gracefully:
+:data:`HAVE_NUMPY` is ``False`` when the import fails, ``auto``
+selection falls back to the pure paths, and asking for a vector kernel
+explicitly raises :class:`KernelUnavailableError`.
+"""
+
+from repro.kernels._compat import (
+    HAVE_NUMPY,
+    KernelUnavailableError,
+    require_numpy,
+    resolve_method,
+)
+from repro.kernels.udg import vector_adjacency, vector_udg_edges
+from repro.kernels.bfs import (
+    graph_to_csr,
+    packed_hop_distances,
+    vector_all_pairs_hop_distances,
+)
+from repro.kernels.disk import (
+    batch_points_in_disk,
+    count_points_in_disks,
+    points_in_disk,
+)
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KernelUnavailableError",
+    "require_numpy",
+    "resolve_method",
+    "vector_udg_edges",
+    "vector_adjacency",
+    "graph_to_csr",
+    "packed_hop_distances",
+    "vector_all_pairs_hop_distances",
+    "points_in_disk",
+    "batch_points_in_disk",
+    "count_points_in_disks",
+]

@@ -1,0 +1,52 @@
+"""numpy availability gate and kernel-method resolution.
+
+The rest of the library must keep working (and keep its exact pure
+behavior) when numpy is missing, so the import is probed exactly once
+here and every kernel module routes through :func:`require_numpy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - exercised implicitly on import
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - container always ships numpy
+    HAVE_NUMPY = False
+
+
+class KernelUnavailableError(RuntimeError):
+    """A vector kernel was requested but numpy is not importable."""
+
+
+def require_numpy() -> Any:
+    """Return the ``numpy`` module or raise :class:`KernelUnavailableError`."""
+    if not HAVE_NUMPY:
+        raise KernelUnavailableError(
+            "the vector kernels need numpy; install it or use the pure "
+            "implementations (method='pure'/'grid')"
+        )
+    import numpy
+
+    return numpy
+
+
+def resolve_method(method: str, *, size: int, threshold: int = 64) -> str:
+    """Resolve a ``{"pure", "vector", "auto"}`` switch to a concrete choice.
+
+    ``auto`` picks ``vector`` when numpy is importable and the workload
+    has at least ``threshold`` elements (below that the numpy call
+    overhead dominates); otherwise ``pure``.
+    """
+    if method == "pure" or method == "vector":
+        return method
+    if method != "auto":
+        raise ValueError(
+            f"unknown kernel method {method!r} (expected 'pure', 'vector', "
+            "or 'auto')"
+        )
+    if HAVE_NUMPY and size >= threshold:
+        return "vector"
+    return "pure"

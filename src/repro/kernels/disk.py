@@ -1,0 +1,56 @@
+"""Vectorized disk queries: which points lie within r of a center.
+
+Used by ``UnitDiskGraph.nodes_within_many`` (batch coverage / density
+probes for the mobility models) and by the measured packing extrema in
+:mod:`repro.geometry.packing`.  The comparisons run the same float64
+``dx*dx + dy*dy <= r*r`` as the pure scans, so the selected point sets
+are exactly equal.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernels._compat import require_numpy
+
+
+def _as_coord_array(np: Any, values: Any) -> Any:
+    """``(n, 2)`` float64 array from tuples, ``Point`` objects, or an
+    existing array — whatever the pure scans accept, this accepts."""
+    try:
+        arr = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError):
+        arr = np.asarray([(x, y) for x, y in values], dtype=np.float64)
+    # Empty input and a single bare (x, y) both arrive 1-d.
+    return arr.reshape(-1, 2) if arr.ndim != 2 else arr
+
+
+def points_in_disk(coords: Any, center: Any, radius: float) -> Any:
+    """Boolean mask over ``coords`` (an ``(n, 2)`` array): inside the
+    closed disk of ``radius`` around ``center``."""
+    np = require_numpy()
+    pts = _as_coord_array(np, coords)
+    cx, cy = center
+    dx = pts[:, 0] - cx
+    dy = pts[:, 1] - cy
+    return dx * dx + dy * dy <= radius * radius
+
+
+def batch_points_in_disk(coords: Any, centers: Any, radius: float) -> Any:
+    """Boolean matrix ``(len(centers), len(coords))``: membership of
+    every point in every query disk, in one broadcast pass."""
+    np = require_numpy()
+    pts = _as_coord_array(np, coords)
+    ctr = _as_coord_array(np, centers)
+    dx = ctr[:, 0:1] - pts[:, 0]
+    dy = ctr[:, 1:2] - pts[:, 1]
+    return dx * dx + dy * dy <= radius * radius
+
+
+def count_points_in_disks(coords: Any, centers: Any, radius: float) -> Any:
+    """Per-center occupancy counts — ``batch_points_in_disk`` summed
+    over the point axis (int64 array of length ``len(centers)``)."""
+    np = require_numpy()
+    return np.count_nonzero(
+        batch_points_in_disk(coords, centers, radius), axis=1
+    )

@@ -6,6 +6,7 @@ from repro.mobility.models import (
     GaussMarkovModel,
     MobilityModel,
     RandomDirectionModel,
+    density_probe,
 )
 from repro.mobility.maintenance import MaintainedWCDS, MaintenanceReport
 from repro.mobility.protocol import MaintenanceSimulation, MisMaintenanceNode
@@ -16,6 +17,7 @@ __all__ = [
     "GaussMarkovModel",
     "MobilityModel",
     "RandomDirectionModel",
+    "density_probe",
     "MaintainedWCDS",
     "MaintenanceReport",
     "MaintenanceSimulation",

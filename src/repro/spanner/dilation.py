@@ -23,8 +23,8 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
-from repro.graphs.graph import Graph
-from repro.graphs.traversal import bfs_distances
+from repro.graphs.graph import Graph, canonical_order
+from repro.graphs.traversal import bfs_distances, multi_source_hop_distances
 from repro.graphs.udg import UnitDiskGraph
 from repro.graphs.weighted import euclidean_shortest_path_lengths
 from repro.wcds import bounds
@@ -54,11 +54,21 @@ class DilationReport:
 
 
 def max_length_min_hop_paths(
-    udg: UnitDiskGraph, spanner: Graph, source: Hashable
+    udg: UnitDiskGraph,
+    spanner: Graph,
+    source: Hashable,
+    *,
+    hops: Optional[Dict[Hashable, int]] = None,
 ) -> Tuple[Dict[Hashable, int], Dict[Hashable, float]]:
     """From ``source``: spanner hop distances and, per target, the
-    maximum Euclidean length over the spanner's min-hop paths."""
-    hops = bfs_distances(spanner, source)
+    maximum Euclidean length over the spanner's min-hop paths.
+
+    ``hops`` may carry precomputed spanner hop distances from ``source``
+    (e.g. one row of a vectorized multi-source sweep); when omitted a
+    BFS runs here.
+    """
+    if hops is None:
+        hops = bfs_distances(spanner, source)
     maxlen: Dict[Hashable, float] = {source: 0.0}
     by_layer: Dict[int, List[Hashable]] = {}
     for node, d in hops.items():
@@ -84,6 +94,7 @@ def measure_dilation(
     *,
     sources: Optional[Iterable[Hashable]] = None,
     include_adjacent: bool = False,
+    kernels: str = "auto",
 ) -> DilationReport:
     """Worst-case topological and geometric dilation of ``spanner``.
 
@@ -91,9 +102,20 @@ def measure_dilation(
     — exact all-pairs).  Theorem 11 states its bounds for non-adjacent
     pairs; pass ``include_adjacent=True`` to evaluate adjacent pairs
     too (informative: the bound happens to hold for them as well).
+
+    ``kernels`` (``"pure"``/``"vector"``/``"auto"``) selects the hop
+    engine: the vector choice batches the UDG and spanner hop sweeps
+    through :func:`repro.graphs.traversal.multi_source_hop_distances`
+    instead of one BFS per source.  The geometric side (per-source
+    Dijkstra and the max-length DP) is pure either way, and every
+    engine yields the identical report.
     """
     node_list = list(udg.nodes())
     source_list = list(sources) if sources is not None else node_list
+    udg_hops = multi_source_hop_distances(udg, source_list, method=kernels)
+    spanner_hops = multi_source_hop_distances(
+        spanner, source_list, method=kernels
+    )
     pairs = 0
     max_hop_ratio = 0.0
     max_hop_slack = -(10**9)
@@ -102,10 +124,15 @@ def measure_dilation(
     max_geo_slack = float("-inf")
     worst_geo: Optional[Tuple[Hashable, Hashable]] = None
     for source in source_list:
-        g_hops = bfs_distances(udg, source)
+        g_hops = udg_hops[source]
         g_len = euclidean_shortest_path_lengths(udg, source)
-        s_hops, s_maxlen = max_length_min_hop_paths(udg, spanner, source)
-        for target, h in g_hops.items():
+        s_hops, s_maxlen = max_length_min_hop_paths(
+            udg, spanner, source, hops=spanner_hops[source]
+        )
+        # Canonical target order: the worst-pair tie-breaks must not
+        # depend on which hop engine produced the dict.
+        for target in canonical_order(g_hops):
+            h = g_hops[target]
             if target == source:
                 continue
             if h == 1 and not include_adjacent:
@@ -146,9 +173,13 @@ def sampled_dilation(
     spanner: Graph,
     num_sources: int,
     seed: Optional[int] = None,
+    *,
+    kernels: str = "auto",
 ) -> DilationReport:
     """Dilation from a random sample of sources (large-n benchmarks)."""
     rng = random.Random(seed)
     nodes = list(udg.nodes())
     num_sources = min(num_sources, len(nodes))
-    return measure_dilation(udg, spanner, sources=rng.sample(nodes, num_sources))
+    return measure_dilation(
+        udg, spanner, sources=rng.sample(nodes, num_sources), kernels=kernels
+    )

@@ -50,6 +50,16 @@ class TestAggregate:
     def test_single_value_has_zero_std(self):
         assert Aggregate.of([7]).std == 0.0
 
+    def test_std_is_sample_estimator(self):
+        # Trials are a sample of seeds, not the population: Bessel's
+        # correction applies (stdev, not pstdev).
+        import statistics
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        agg = Aggregate.of(values)
+        assert agg.std == pytest.approx(statistics.stdev(values))
+        assert agg.std != pytest.approx(statistics.pstdev(values))
+
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             Aggregate.of([])

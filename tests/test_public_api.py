@@ -33,6 +33,7 @@ class TestTopLevelSurface:
 SUBPACKAGES = [
     "repro.geometry",
     "repro.graphs",
+    "repro.kernels",
     "repro.sim",
     "repro.election",
     "repro.mis",

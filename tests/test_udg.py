@@ -38,6 +38,22 @@ class TestConstruction:
         g = build_udg({"a": Point(0, 0), "b": Point(0.2, 0)})
         assert g.has_edge("a", "b")
 
+    def test_mixed_id_types_construct(self):
+        # Unorderable mixed ids (int vs str) fall back to repr ordering
+        # inside the grid builder; the edges must match brute force.
+        positions = {
+            1: Point(0, 0),
+            "a": Point(0.3, 0),
+            2: Point(0.6, 0),
+            "b": Point(5.0, 5.0),
+        }
+        grid = build_udg(positions, method="grid")
+        brute = build_udg(positions, method="brute")
+        assert {frozenset(e) for e in grid.edges()} == {
+            frozenset(e) for e in brute.edges()
+        }
+        assert grid.has_edge(1, "a") and not grid.has_edge(1, "b")
+
     def test_negative_coordinates(self):
         g = build_udg([(-3.0, -3.0), (-3.5, -3.0), (3.0, 3.0)])
         assert g.has_edge(0, 1)
@@ -76,6 +92,37 @@ class TestGeometryQueries:
     def test_position_lookup(self):
         g = build_udg({"x": Point(1, 2)})
         assert g.position("x") == Point(1, 2)
+
+    def test_nodes_within_rejects_negative_radius(self):
+        g = build_udg([(0, 0)])
+        with pytest.raises(ValueError):
+            g.nodes_within(Point(0, 0), -0.1)
+
+    def test_nodes_within_zero_radius_hits_coincident_node(self):
+        g = build_udg([(1.0, 1.0), (2.5, 2.5)])
+        assert g.nodes_within(Point(1.0, 1.0), 0.0) == [0]
+
+    @given(seeds)
+    @settings(max_examples=30)
+    def test_nodes_within_matches_brute_scan(self, seed):
+        # Regression: the grid-cell routed query must agree with the
+        # full O(n) scan for any center (on- or off-deployment) and any
+        # radius, including ones spanning many cells.
+        import random
+
+        from repro.geometry import distance_squared
+
+        rng = random.Random(seed)
+        g = uniform_random_udg(25, 4.0, rng=rng)
+        for _ in range(5):
+            center = Point(rng.uniform(-2, 6), rng.uniform(-2, 6))
+            radius = rng.choice([0.0, 0.3, 1.0, 2.7, 10.0])
+            expected = sorted(
+                node
+                for node, pos in g.positions.items()
+                if distance_squared(center, pos) <= radius * radius
+            )
+            assert g.nodes_within(center, radius) == expected
 
 
 class TestMoveNode:
