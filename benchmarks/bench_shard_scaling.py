@@ -1,0 +1,106 @@
+"""Sharded serving at scale: pool throughput and invalidation locality.
+
+The shard subsystem's reason to exist, asserted here:
+
+* two pool workers serve route queries at **>= 2x** the one-worker
+  throughput (needs >= 2 usable CPUs — skipped otherwise; at the full
+  ``n`` the split replica working set also halves per-process memory
+  pressure, which is where multi-worker serving pays off);
+* gentle (edge-preserving) interior churn re-stitches only the tiles
+  reading the moved node: **zero cascaded tiles**, and at most the
+  reading tiles rebuilt per event;
+* the stitched backbone equals the global single-process construction
+  (spot-checked here; the seed/tile-size sweep lives in
+  ``tests/test_shard.py``).
+
+``SHARD_SCALING_N`` scales the deployment (default 100000, a ~70-tile
+multi-shard instance); CI runs a reduced size.
+"""
+
+import os
+
+import pytest
+
+from bench_utils import show
+from repro.shard.bench import bench_invalidation, bench_pool, jittered_grid
+
+N = int(os.environ.get("SHARD_SCALING_N", "100000"))
+TILE_SIZE = 12.0
+SEED = 0
+QUERIES = max(4096, min(16384, N // 8))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return jittered_grid(N, seed=SEED)
+
+
+def test_two_workers_double_throughput(benchmark, deployment):
+    if _usable_cpus() < 2:
+        pytest.skip("worker scaling needs >= 2 usable CPUs")
+    one = bench_pool(
+        deployment, 1, tile_size=TILE_SIZE, queries=QUERIES,
+        batch_size=128, seed=SEED,
+    )
+
+    def two_workers():
+        return bench_pool(
+            deployment, 2, tile_size=TILE_SIZE, queries=QUERIES,
+            batch_size=128, seed=SEED,
+        )
+
+    two = benchmark.pedantic(two_workers, rounds=1, iterations=1)
+    scaling = two["throughput_qps"] / one["throughput_qps"]
+    show(
+        f"Shard pool scaling (n={N}, tile={TILE_SIZE}R)",
+        [
+            {
+                "workers": entry["workers"],
+                "tiles": entry["tiles"],
+                "qps": round(entry["throughput_qps"], 1),
+                "answered": entry["answered"],
+            }
+            for entry in (one, two)
+        ]
+        + [{"workers": "2 vs 1", "tiles": "", "qps": round(scaling, 2),
+            "answered": ""}],
+    )
+    assert two["answered"] == one["answered"] == QUERIES
+    assert scaling >= 2.0, (
+        f"2-worker pool only {scaling:.2f}x the 1-worker throughput"
+    )
+
+
+def test_gentle_churn_is_boundary_only(deployment):
+    report = bench_invalidation(
+        deployment, tile_size=TILE_SIZE,
+        churn_events=min(50, max(10, N // 2000)), seed=SEED,
+    )
+    show(f"Boundary-only invalidation (n={N})", [report])
+    assert report["churn_events"] > 0, "no edge-preserving interior moves found"
+    assert report["tiles_cascaded"] == 0, (
+        "gentle churn re-stitched tiles beyond the ones reading the "
+        f"moved node: {report}"
+    )
+    # Each event touches at most the moved node's reading tiles — far
+    # fewer than the deployment's tiles.
+    assert report["max_tiles_rebuilt_per_event"] <= 4
+    assert report["tiles_rebuilt"] < report["tiles"] * report["churn_events"]
+
+
+def test_sharded_matches_global_backbone():
+    from repro.shard.stitch import build_sharded
+    from repro.wcds.algorithm2 import algorithm2_centralized
+
+    graph = jittered_grid(min(N, 4000), seed=SEED)
+    sharded = build_sharded(graph)
+    oracle = algorithm2_centralized(graph)
+    assert sharded.dominators == oracle.dominators
+    assert sharded.mis_dominators == oracle.mis_dominators

@@ -7,9 +7,13 @@ the comparison baselines.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any, Optional
+
 from repro.backbone.registry import (
     CentralizedAlgorithm,
     DistributedAlgorithm,
+    as_backbone_result,
     register,
 )
 from repro.baselines.chen_liestman import greedy_wcds
@@ -61,4 +65,56 @@ register(CentralizedAlgorithm(
 register(CentralizedAlgorithm(
     "mis-tree", mis_tree_cds,
     description="MIS + BFS-tree connectors CDS baseline",
+))
+
+
+@dataclass(frozen=True)
+class ShardedAlgorithm:
+    """Adapter for the tiled Algorithm II construction.
+
+    Deterministic like the centralized references, but it threads the
+    observability handles through so per-tile build and stitch metrics
+    land in the caller's registry.  Requires a
+    :class:`~repro.graphs.udg.UnitDiskGraph` — the tiling is geometric.
+    """
+
+    name: str
+    description: str = ""
+    distributed: bool = False
+
+    def run(
+        self,
+        graph: Any,
+        *,
+        seed: Optional[int] = None,
+        tracer: Any = None,
+        registry: Any = None,
+        transport: Any = None,
+        sim: Any = None,
+    ):
+        from repro.graphs.udg import UnitDiskGraph
+        from repro.shard.stitch import build_sharded
+
+        if transport:
+            raise ValueError(
+                f"{self.name} is centralized; transport does not apply"
+            )
+        if sim is not None and (sim.faulty or sim.transport_config is not None):
+            raise ValueError(
+                f"{self.name} is centralized; faults and transport only "
+                "apply to distributed simulations"
+            )
+        if not isinstance(graph, UnitDiskGraph):
+            raise TypeError(
+                f"{self.name} tiles the deployment plane and needs a "
+                f"UnitDiskGraph, got {type(graph).__name__}"
+            )
+        result = build_sharded(graph, registry=registry, tracer=tracer)
+        return as_backbone_result(result, self.name)
+
+
+register(ShardedAlgorithm(
+    "wcds-sharded",
+    description="Paper Algorithm II built per spatial tile and "
+    "stitched by frontier exchange (exact, boundary-local)",
 ))

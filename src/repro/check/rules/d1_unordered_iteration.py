@@ -65,6 +65,7 @@ class UnorderedIterationRule(base.Rule):
         "src/repro/transport/",
         "src/repro/faults/",
         "src/repro/backbone/",
+        "src/repro/shard/",
     )
 
     def check(self, module: base.ModuleSource) -> Iterator[Violation]:

@@ -45,6 +45,7 @@ class ClockAndRngRule(base.Rule):
         "src/repro/transport/",
         "src/repro/faults/",
         "src/repro/backbone/",
+        "src/repro/shard/",
     )
 
     def check(self, module: base.ModuleSource) -> Iterator[Violation]:

@@ -58,6 +58,7 @@ class CrossNodeMutationRule(base.Rule):
         "src/repro/transport/",
         "src/repro/faults/",
         "src/repro/backbone/",
+        "src/repro/shard/",
     )
 
     def check(self, module: base.ModuleSource) -> Iterator[Violation]:

@@ -408,15 +408,29 @@ def cmd_serve(args) -> int:
 
     graph = _build(args)
     try:
+        sharding = None
+        if args.shards is not None:
+            from repro.shard import ShardConfig
+
+            sharding = ShardConfig(
+                tile_size=args.tile_size, workers=args.shards
+            )
         config = ServiceConfig(
             rebuild_threshold=args.rebuild_threshold,
             default_deadline=args.deadline,
             sim=_sim_config(args),
+            sharding=sharding,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     service = BackboneService(graph, config)
+    if sharding is not None and sharding.workers:
+        print(
+            "note: --shards enables tiled maintenance here; the "
+            "multiprocessing serve pool itself is measured by "
+            "`repro shard-bench`."
+        )
     if args.requests:
         try:
             requests = load_trace(args.requests)
@@ -530,6 +544,54 @@ def cmd_service_bench(args) -> int:
         },
         indent=2,
     ))
+    return 0
+
+
+def cmd_shard_bench(args) -> int:
+    import json
+
+    from repro.shard.bench import run_scaling_bench
+
+    workers = tuple(int(w) for w in args.workers.split(","))
+    report = run_scaling_bench(
+        args.nodes,
+        workers=workers,
+        tile_size=args.tile_size,
+        queries=args.queries,
+        churn_events=args.churn,
+        seed=args.seed,
+        baseline=args.baseline,
+    )
+    if args.format == "json":
+        print(json.dumps(report, indent=2))
+        return 0
+    print_table(
+        [
+            {
+                "workers": entry["workers"],
+                "tiles": entry["tiles"],
+                "queries": entry["queries"],
+                "qps": round(entry["throughput_qps"], 1),
+                "build_s": round(entry["build_seconds"], 2),
+            }
+            for entry in report["pools"]
+        ],
+        title=f"Shard serve throughput (n={report['n']}, "
+        f"tile={report['tile_size']}R)",
+    )
+    inv = report["invalidation"]
+    print_table(
+        [inv],
+        title="Boundary-only invalidation under gentle churn",
+    )
+    if "scaling_2_vs_1" in report:
+        print(f"2-worker vs 1-worker scaling: {report['scaling_2_vs_1']:.2f}x")
+    if "global_baseline" in report:
+        base = report["global_baseline"]
+        print(
+            f"global single-process service: {base['throughput_qps']:.1f} qps "
+            f"(pool best is {report.get('speedup_vs_global', 0):.1f}x)"
+        )
     return 0
 
 
@@ -804,6 +866,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dirtiness fraction that triggers a full rebuild")
     p.add_argument("--metrics", metavar="FILE",
                    help="write the metrics JSON here instead of stdout")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="maintain the backbone as spatial tiles stitched "
+                   "at their frontiers (N = serve-pool workers; 0 keeps "
+                   "serving in-process)")
+    p.add_argument("--tile-size", type=float, default=8.0,
+                   help="tile side in radio-radius units (with --shards)")
     _add_sim_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_serve)
@@ -817,6 +885,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--baseline-queries", type=int, default=15,
                    help="route queries through the rebuild-per-query baseline")
     p.set_defaults(func=cmd_service_bench)
+
+    p = sub.add_parser(
+        "shard-bench",
+        help="sharded serving: pool throughput scaling and "
+        "boundary-only invalidation",
+    )
+    p.add_argument("--nodes", type=int, default=10000,
+                   help="deployment size (jittered grid, connected)")
+    p.add_argument("--tile-size", type=float, default=12.0,
+                   help="tile side in radio-radius units")
+    p.add_argument("--workers", default="1,2",
+                   help="comma list of pool widths to measure")
+    p.add_argument("--queries", type=int, default=3000,
+                   help="route queries per pool width")
+    p.add_argument("--churn", type=int, default=30,
+                   help="gentle churn events for the invalidation profile")
+    p.add_argument("--seed", type=int, default=0, help="deployment seed")
+    p.add_argument("--baseline", action="store_true",
+                   help="also measure the global single-process service")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.set_defaults(func=cmd_shard_bench)
 
     p = sub.add_parser(
         "obs-report",

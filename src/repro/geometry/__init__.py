@@ -22,6 +22,7 @@ from repro.geometry.packing import (
     mis_neighbors_bound,
     mis_two_hop_bound,
     mis_three_hop_bound,
+    rect_band_packing_bound,
 )
 
 __all__ = [
@@ -38,4 +39,5 @@ __all__ = [
     "mis_neighbors_bound",
     "mis_two_hop_bound",
     "mis_three_hop_bound",
+    "rect_band_packing_bound",
 ]

@@ -59,6 +59,35 @@ def max_independent_points_in_annulus(inner: float, outer: float) -> int:
     return annulus_packing_bound(inner, outer, separation=1.0)
 
 
+def rect_band_packing_bound(
+    width: float, height: float, band: float, separation: float = 1.0
+) -> int:
+    """Upper bound on points with pairwise distance > ``separation``
+    in the boundary band of a ``width`` × ``height`` rectangle.
+
+    The band is the part of the rectangle within ``band`` of its
+    boundary.  Each point carries a disjoint private disk of radius
+    ``separation / 2``; the disks lie inside the band inflated by that
+    half-separation on both sides, whose area is the inflated outer
+    rectangle minus the shrunken inner hole.  Dividing by the private
+    disk area gives the strict count — Lemma 2's argument transplanted
+    from the annulus to the tile frontier, which is why frontier
+    exchange is O(perimeter) while the tile itself is O(area).
+    """
+    if width < 0 or height < 0:
+        raise ValueError("width and height must be non-negative")
+    if band < 0:
+        raise ValueError("band must be non-negative")
+    half = separation / 2.0
+    outer_w = width + 2 * half
+    outer_h = height + 2 * half
+    hole_w = max(width - 2 * (band + half), 0.0)
+    hole_h = max(height - 2 * (band + half), 0.0)
+    area = outer_w * outer_h - hole_w * hole_h
+    per_point = math.pi * half**2
+    return _strict_floor(area / per_point)
+
+
 def mis_neighbors_bound() -> int:
     """Lemma 1: a node not in the MIS has at most five MIS neighbors.
 

@@ -3,7 +3,7 @@
 The pure-Python implementations in :mod:`repro.graphs` and
 :mod:`repro.geometry` are the *oracles*: simple, exact, and
 dependency-free.  This package holds numpy-vectorized twins of the
-three paths the benchmarks actually measure:
+paths the benchmarks actually measure:
 
 * **UDG edge construction** (:func:`vector_udg_edges`,
   :func:`vector_adjacency`) — sorted cell binning plus blockwise
@@ -20,6 +20,10 @@ three paths the benchmarks actually measure:
   :func:`batch_points_in_disk`, :func:`count_points_in_disks`) — used
   by ``UnitDiskGraph.nodes_within_many`` and the measured packing
   extrema in :mod:`repro.geometry.packing`.
+* **Spatial tiling** (:func:`tile_index_array`, :func:`bin_by_tile`,
+  :func:`rect_distance_squared`, :func:`boundary_band_mask`) — cell
+  binning and rectangle-band extraction behind the
+  :class:`repro.shard.tiler.Tiler` halo/frontier fast path.
 
 Every kernel computes squared distances with the same float64
 operations in the same order as the oracles, so results are *exactly*
@@ -49,6 +53,12 @@ from repro.kernels.disk import (
     count_points_in_disks,
     points_in_disk,
 )
+from repro.kernels.shard import (
+    bin_by_tile,
+    boundary_band_mask,
+    rect_distance_squared,
+    tile_index_array,
+)
 
 __all__ = [
     "HAVE_NUMPY",
@@ -63,4 +73,8 @@ __all__ = [
     "points_in_disk",
     "batch_points_in_disk",
     "count_points_in_disks",
+    "tile_index_array",
+    "bin_by_tile",
+    "rect_distance_squared",
+    "boundary_band_mask",
 ]

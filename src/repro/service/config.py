@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.shard.config import ShardConfig
 from repro.sim.config import SimConfig
 
 
@@ -48,6 +49,13 @@ class ServiceConfig:
     #: last-good snapshot (marked stale) instead of refreshing on a
     #: topology that is known to be split.
     degrade_on_partition: bool = True
+    #: Maintain the backbone as spatial tiles stitched at their
+    #: frontiers (:mod:`repro.shard`) instead of whole-graph
+    #: maintenance.  Churn then re-stitches only the tiles reading the
+    #: touched nodes, and route invalidation is scoped to those tiles'
+    #: members rather than a hop-radius sweep (and never the whole
+    #: cache).  ``None`` keeps the global single-process path.
+    sharding: Optional[ShardConfig] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.rebuild_threshold <= 1.0:

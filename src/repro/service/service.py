@@ -99,8 +99,18 @@ class BackboneService:
         self._repair_cost = _Ewma(self.config.cost_ewma_alpha)
         self._rebuild_cost = _Ewma(self.config.cost_ewma_alpha)
         started = self.clock()
-        self._maintained = MaintainedWCDS(udg)
-        self._snapshot = _Snapshot(udg.copy(), self._maintained.result())
+        self._sharded = None
+        self._maintained: Optional[MaintainedWCDS] = None
+        if self.config.sharding is not None:
+            from repro.shard.stitch import ShardedBackbone
+
+            self._sharded = ShardedBackbone(
+                udg, self.config.sharding, registry=registry
+            )
+            self._snapshot = _Snapshot(udg.copy(), self._sharded.result())
+        else:
+            self._maintained = MaintainedWCDS(udg)
+            self._snapshot = _Snapshot(udg.copy(), self._maintained.result())
         self._rebuild_cost.update(self.clock() - started)
         self.backbone_cache.put(self._snapshot.fingerprint, self._snapshot.result)
 
@@ -206,11 +216,37 @@ class BackboneService:
         self._version += 1
         self._plan_cache.clear()
         self._dirt += weight / max(1, self.graph.num_nodes)
-        evicted = self.route_cache.invalidate_region(
-            self.graph, seeds, self.config.invalidation_radius
-        )
+        if self._sharded is not None:
+            # Tile-scoped: only routes through the tiles that read a
+            # touched node can change, so unrelated cached routes
+            # elsewhere in the deployment survive the churn.
+            evicted = self.route_cache.invalidate_nodes(
+                self._sharded_blast_radius(entry, seeds)
+            )
+        else:
+            evicted = self.route_cache.invalidate_region(
+                self.graph, seeds, self.config.invalidation_radius
+            )
         self.metrics.incr("updates_total")
         self.metrics.incr("route_cache_invalidated", evicted)
+
+    def _sharded_blast_radius(self, entry: Tuple, seeds) -> set:
+        """Nodes whose cached routes a sharded update can affect: the
+        members of every tile reading a seed node (a joining node is
+        mapped by its target position; the tiler has not indexed it
+        yet)."""
+        from repro.geometry.point import Point
+
+        tiler = self._sharded.tiler
+        tiles = set()
+        for seed in seeds:
+            tiles.update(tiler.tiles_reading(seed))
+        if entry[0] == "on":
+            tiles.add(tiler.tile_of(Point(*entry[2])))
+        nodes = set(seeds)
+        for tile in tiles:
+            nodes.update(tiler.members(tile))
+        return nodes
 
     # ------------------------------------------------------------------
     # Freshness
@@ -241,6 +277,9 @@ class BackboneService:
         re-freeze the last-good snapshot."""
         if not self._pending:
             return
+        if self._sharded is not None:
+            self._refresh_sharded()
+            return
         started = self.clock()
         if self._dirt >= self.config.rebuild_threshold:
             self._apply_pending_mutations_only()
@@ -263,6 +302,57 @@ class BackboneService:
         self._dirt = 0.0
         rebuild_started = self.clock()
         self._snapshot = _Snapshot(self.graph.copy(), self._maintained.result())
+        self._rebuild_cost.update(self.clock() - rebuild_started)
+        self.backbone_cache.put(self._snapshot.fingerprint, self._snapshot.result)
+
+    def _refresh_sharded(self) -> None:
+        """Absorb pending updates by boundary-only re-stitching.
+
+        There is no full-rebuild escape hatch here: every event is a
+        local re-stitch of the tiles reading its nodes, and the route
+        cache loses only the routes through tiles that were actually
+        re-stitched (cascades included) — never everything.
+        """
+        from repro.geometry.point import Point
+        from repro.graphs.graph import canonical_order
+
+        started = self.clock()
+        touched_tiles: set = set()
+        batches = 0
+        while self._pending:
+            entry = self._pending.pop(0)
+            kind = entry[0]
+            if kind == "events":
+                for node in canonical_order(entry[1].endpoints):
+                    if node in self.graph:
+                        report = self._sharded.note_moved(node)
+                        touched_tiles.update(report.rebuilt)
+            elif kind == "on":
+                node = entry[1]
+                if node not in self.graph:
+                    self.graph.add_node_at(node, Point(*entry[2]))
+                    report = self._sharded.note_joined(node)
+                    touched_tiles.update(report.rebuilt)
+            elif kind == "off":
+                node = entry[1]
+                if node in self.graph:
+                    self.graph.remove_node(node)
+                    report = self._sharded.note_left(node)
+                    touched_tiles.update(report.rebuilt)
+            else:
+                raise AssertionError(f"unknown pending entry {entry!r}")
+            batches += 1
+        tiler = self._sharded.tiler
+        stale_routes: set = set()
+        for tile in touched_tiles:
+            stale_routes.update(tiler.members(tile))
+        evicted = self.route_cache.invalidate_nodes(stale_routes)
+        self.metrics.incr("route_cache_invalidated", evicted)
+        self.metrics.incr("repairs", batches)
+        self._repair_cost.update((self.clock() - started) / max(1, batches))
+        self._dirt = 0.0
+        rebuild_started = self.clock()
+        self._snapshot = _Snapshot(self.graph.copy(), self._sharded.result())
         self._rebuild_cost.update(self.clock() - rebuild_started)
         self.backbone_cache.put(self._snapshot.fingerprint, self._snapshot.result)
 

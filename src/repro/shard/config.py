@@ -1,0 +1,72 @@
+"""Tunables of the sharded backbone.
+
+One frozen dataclass describes the whole sharding geometry and the
+serving topology: how big a tile is, how wide the halo each tile reads
+(and the frontier band it publishes) is, and how many worker processes
+the serve pool spreads the tiles over.
+
+All lengths are expressed in units of the radio radius, mirroring the
+paper: Algorithm II's decisions are ≤2-hop local and its connectors
+span ≤3 hops, so a halo of ``3`` radii is exactly what makes a tile's
+local computation agree with the global construction (see
+``docs/SHARDING.md`` for the argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Connector selection inspects 3-hop neighborhoods (a pair of
+#: MIS-dominators at hop distance 3 plus the intermediate path), so a
+#: tile must read at least this many radii beyond its own rectangle to
+#: reproduce the global choice for the pairs it owns.
+MIN_HALO_RADII = 3.0
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Configuration of the spatial sharding and its serve pool.
+
+    Attributes:
+        tile_size: tile side length in radio radii.  Smaller tiles mean
+            more parallelism and cheaper invalidation but relatively
+            larger halos; below ``2 * halo`` every owned node is also a
+            frontier node.
+        halo: width of the halo band each tile reads (and of the
+            frontier band it publishes), in radio radii.  Must be at
+            least :data:`MIN_HALO_RADII` so the per-tile construction
+            is exact on everything the tile owns.
+        workers: serve-pool worker processes.  ``0`` keeps every tile
+            replica in-process (deterministic, no multiprocessing) —
+            the mode tests and the stitching oracle use.
+        batch_size: query batch size the pool dispatches to a worker in
+            one message; batching amortizes the IPC cost.
+        method: tiling engine — ``"pure"`` (python loops),
+            ``"vector"`` (:mod:`repro.kernels.shard`), or ``"auto"``.
+            Both produce identical tile assignments.
+    """
+
+    tile_size: float = 8.0
+    halo: float = MIN_HALO_RADII
+    workers: int = 0
+    batch_size: int = 256
+    method: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.tile_size <= 0:
+            raise ValueError("tile_size must be positive (radii)")
+        if self.halo < MIN_HALO_RADII:
+            raise ValueError(
+                f"halo must be >= {MIN_HALO_RADII} radii: connector "
+                "selection reads 3-hop neighborhoods, a thinner halo "
+                "breaks the tile-interior oracle guarantee"
+            )
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if self.method not in ("pure", "vector", "auto"):
+            raise ValueError(
+                f"unknown tiling method {self.method!r} "
+                "(expected 'pure', 'vector', or 'auto')"
+            )

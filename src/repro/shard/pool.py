@@ -1,0 +1,560 @@
+"""Serving the stitched backbone: tile replicas and a worker pool.
+
+The parent process is the *control plane*: it owns the graph, the
+:class:`~repro.shard.stitch.ShardedBackbone`, and the stitching.  The
+*data plane* is a set of :class:`_TileReplica` objects — one per tile,
+each holding only its tile's members, induced adjacency, and backbone
+membership — that answer the read queries (``dominator``, ``member``,
+``route``) without ever touching global state.
+
+With ``config.workers == 0`` the replicas live in-process: same code
+path, no multiprocessing, fully deterministic — the mode tests use.
+With ``workers > 0`` the replicas are spread round-robin over worker
+processes (``spawn`` context).  Node positions live in one
+shared-memory float64 array (:class:`SharedPositions`): a worker
+rebuilds a tile's adjacency by reading member rows straight from
+shared memory, so a refresh message carries only node indices and
+membership bits — O(tile), never O(n) — and a position update is one
+row write by the parent, not a broadcast.
+
+Churn (:meth:`ShardServePool.move`) re-stitches the affected tiles via
+the backbone's boundary-only invalidation, then refreshes exactly the
+replicas whose view changed: the re-stitched tiles plus any tile
+reading a node whose backbone membership flipped.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.graphs.graph import canonical_order
+from repro.graphs.udg import UnitDiskGraph
+from repro.kernels._compat import require_numpy
+from repro.obs.tracing import get_tracer
+from repro.shard.config import ShardConfig
+from repro.shard.stitch import InvalidationReport, ShardedBackbone
+from repro.shard.tiler import TileId
+
+Node = Hashable
+#: A read query: ``("dominator", u)``, ``("member", u)``, or
+#: ``("route", u, v)``.
+Query = Tuple[Any, ...]
+
+
+class SharedPositions:
+    """An ``(n, 2)`` float64 position array in shared memory.
+
+    Created by the pool parent and attached (by name) from workers.
+    Pickles as an attach handle, so it round-trips through ``spawn``
+    process boundaries: the unpickled object maps the same memory.
+    """
+
+    def __init__(self, name: Optional[str], count: int, *, _create: bool = False):
+        np = require_numpy()
+        from multiprocessing import shared_memory
+
+        nbytes = max(count * 16, 16)
+        if _create:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        else:
+            # Attachers here are always spawn children of the creator
+            # (or the creating process itself, for pickle round-trips),
+            # so they share the creator's resource tracker and the
+            # register-on-attach in 3.11 is a no-op rather than the
+            # premature-unlink hazard of python/cpython#82300.  The
+            # creator's single ``unlink()`` is the one cleanup point.
+            self._shm = shared_memory.SharedMemory(name=name)
+        self.name = self._shm.name
+        self.count = count
+        self.array = np.ndarray((count, 2), dtype=np.float64, buffer=self._shm.buf)
+
+    @classmethod
+    def create(cls, coords: Sequence[Tuple[float, float]]) -> "SharedPositions":
+        """Allocate a segment holding ``coords`` (row i = point i)."""
+        shared = cls(None, len(coords), _create=True)
+        for i, (x, y) in enumerate(coords):
+            shared.array[i, 0] = x
+            shared.array[i, 1] = y
+        return shared
+
+    @classmethod
+    def attach(cls, name: str, count: int) -> "SharedPositions":
+        """Map an existing segment by name."""
+        return cls(name, count)
+
+    def __reduce__(self):
+        return (SharedPositions.attach, (self.name, self.count))
+
+    def close(self) -> None:
+        """Unmap the segment (the array becomes invalid)."""
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (creator only, after all closes)."""
+        self._shm.unlink()
+
+
+class _TileReplica:
+    """One tile's serveable state: members, adjacency, membership bits.
+
+    Identifier-agnostic — the inline pool builds replicas over node
+    ids, workers over shared-array row indices; the query logic is the
+    same.
+    """
+
+    def __init__(
+        self,
+        members: Iterable[Node],
+        adjacency: Dict[Node, Set[Node]],
+        mis: Iterable[Node],
+        backbone: Iterable[Node],
+    ) -> None:
+        self.members = set(members)
+        self.adjacency = adjacency
+        self.mis = set(mis)
+        self.backbone = set(backbone)
+
+    def dominator(self, u: Node) -> Optional[Node]:
+        """The node's dominator: itself if in the MIS, else its lowest
+        MIS neighbor (every node is dominated — Algorithm II's MIS)."""
+        if u not in self.members:
+            return None
+        if u in self.mis:
+            return u
+        candidates = [v for v in self.adjacency.get(u, ()) if v in self.mis]
+        return min(candidates) if candidates else None
+
+    def member(self, u: Node) -> bool:
+        """Whether the node is a backbone (WCDS) member."""
+        return u in self.backbone
+
+    def route(self, u: Node, v: Node) -> Optional[List[Node]]:
+        """Minimum-hop path from ``u`` to ``v`` over *black edges*
+        (edges with a backbone endpoint) within the tile, or ``None``
+        when either endpoint is outside the tile or unreachable."""
+        if u not in self.members or v not in self.members:
+            return None
+        if u == v:
+            return [u]
+        parents: Dict[Node, Node] = {}
+        seen = {u}
+        frontier = deque([u])
+        while frontier:
+            node = frontier.popleft()
+            node_black = node in self.backbone
+            for nbr in canonical_order(self.adjacency.get(node, ())):
+                if nbr in seen:
+                    continue
+                if not node_black and nbr not in self.backbone:
+                    continue
+                parents[nbr] = node
+                if nbr == v:
+                    path = [v]
+                    while path[-1] != u:
+                        path.append(parents[path[-1]])
+                    path.reverse()
+                    return path
+                seen.add(nbr)
+                frontier.append(nbr)
+        return None
+
+    def serve(self, op: str, args: Tuple[Any, ...]) -> Any:
+        if op == "dominator":
+            return self.dominator(args[0])
+        if op == "member":
+            return self.member(args[0])
+        if op == "route":
+            return self.route(args[0], args[1])
+        raise ValueError(f"unknown query op {op!r}")
+
+
+def _replica_from_shared(
+    shared: SharedPositions,
+    radius: float,
+    members: Sequence[int],
+    mis: Sequence[int],
+    backbone: Sequence[int],
+) -> _TileReplica:
+    """Build a replica in-worker: adjacency recomputed from the shared
+    position rows (only indices crossed the pipe)."""
+    from repro.kernels.udg import vector_adjacency
+
+    rows = shared.array
+    pairs = [(i, (float(rows[i, 0]), float(rows[i, 1]))) for i in members]
+    adjacency = vector_adjacency(pairs, radius)
+    return _TileReplica(members, adjacency, mis, backbone)
+
+
+def _worker_main(conn, shared: Optional[SharedPositions], radius: float) -> None:
+    """Worker loop: maintain tile replicas, answer query batches.
+
+    Module-level so the ``spawn`` start method can import it; all
+    state arrives through the pipe or the shared position array.
+    """
+    replicas: Dict[TileId, _TileReplica] = {}
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        if kind == "load":
+            _, tile, members, mis, backbone = message
+            replicas[tile] = _replica_from_shared(
+                shared, radius, members, mis, backbone
+            )
+            conn.send(("loaded", tile))
+        elif kind == "drop":
+            replicas.pop(message[1], None)
+            conn.send(("dropped", message[1]))
+        elif kind == "query":
+            _, items = message
+            results = []
+            for qid, tile, op, args in items:
+                replica = replicas.get(tile)
+                value = None if replica is None else replica.serve(op, args)
+                results.append((qid, value))
+            conn.send(("results", results))
+        elif kind == "close":
+            conn.send(("bye",))
+            break
+        else:  # pragma: no cover - protocol error
+            raise ValueError(f"unknown message {kind!r}")
+    if shared is not None:
+        shared.close()
+    conn.close()
+
+
+class ShardServePool:
+    """Query service over the stitched backbone.
+
+    ``workers == 0`` serves inline from in-process replicas;
+    ``workers > 0`` spreads tile replicas over spawn-context worker
+    processes sharing one position array.  Either way the answers are
+    identical — the worker path only changes where the replica lives.
+    """
+
+    def __init__(
+        self,
+        graph: UnitDiskGraph,
+        config: Optional[ShardConfig] = None,
+        *,
+        registry=None,
+        tracer=None,
+    ) -> None:
+        self.config = config or ShardConfig()
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.graph = graph
+        self.backbone = ShardedBackbone(
+            graph, self.config, registry=registry, tracer=tracer
+        )
+        self.tiler = self.backbone.tiler
+        #: Global backbone membership, maintained incrementally from
+        #: per-tile contributions (connector picks are refcounted: two
+        #: tiles may choose the same intermediate).
+        self._mis: Set[Node] = set()
+        self._connector_counts: Dict[Node, int] = {}
+        self._tile_mis: Dict[TileId, Set[Node]] = {}
+        self._tile_conn: Dict[TileId, List[Node]] = {}
+        for tile in self.tiler.tiles():
+            self._apply_contribution(tile)
+        self._workers: List[Tuple[Any, Any]] = []  # (process, conn)
+        self._worker_of: Dict[TileId, int] = {}
+        self.shared: Optional[SharedPositions] = None
+        self._replicas: Dict[TileId, _TileReplica] = {}
+        if self.config.workers > 0:
+            self._start_workers()
+        else:
+            for tile in self.tiler.tiles():
+                self._replicas[tile] = self._build_local_replica(tile)
+
+    # ------------------------------------------------------------------
+    # Global membership bookkeeping
+    # ------------------------------------------------------------------
+    def _apply_contribution(self, tile: TileId) -> Set[Node]:
+        """Swap in a tile's current (MIS, connector) contribution;
+        returns the nodes whose backbone membership changed."""
+        status = self.backbone.tile_status(tile)
+        new_mis = {v for v in self.tiler.owned(tile) if status.get(v) is True}
+        new_conn = [chosen for _, _, chosen in self.backbone.tile_connectors(tile)]
+        changed: Set[Node] = set()
+        old_mis = self._tile_mis.get(tile, set())
+        changed |= old_mis ^ new_mis
+        self._mis -= old_mis - new_mis
+        self._mis |= new_mis
+        counts = self._connector_counts
+        for node in self._tile_conn.get(tile, []):
+            counts[node] -= 1
+            if counts[node] == 0:
+                del counts[node]
+                changed.add(node)
+        for node in new_conn:
+            if counts.get(node) is None:
+                changed.add(node)
+            counts[node] = counts.get(node, 0) + 1
+        if new_mis or new_conn:
+            self._tile_mis[tile] = new_mis
+            self._tile_conn[tile] = new_conn
+        else:
+            self._tile_mis.pop(tile, None)
+            self._tile_conn.pop(tile, None)
+        return changed
+
+    def _drop_contribution(self, tile: TileId) -> Set[Node]:
+        """Remove a retired tile's contribution entirely."""
+        changed: Set[Node] = set(self._tile_mis.get(tile, set()))
+        self._mis -= self._tile_mis.pop(tile, set())
+        counts = self._connector_counts
+        for node in self._tile_conn.pop(tile, []):
+            counts[node] -= 1
+            if counts[node] == 0:
+                del counts[node]
+                changed.add(node)
+        return changed
+
+    def backbone_nodes(self) -> Set[Node]:
+        """The current global backbone (MIS plus live connectors)."""
+        return self._mis | set(self._connector_counts)
+
+    # ------------------------------------------------------------------
+    # Replica construction
+    # ------------------------------------------------------------------
+    def _build_local_replica(self, tile: TileId) -> _TileReplica:
+        members = self.tiler.members(tile)
+        member_set = set(members)
+        adjacency = {
+            m: self.graph.adjacency(m) & member_set for m in members
+        }
+        backbone = self.backbone_nodes()
+        return _TileReplica(
+            members,
+            adjacency,
+            member_set & self._mis,
+            member_set & backbone,
+        )
+
+    def _tile_spec(self, tile: TileId) -> Tuple[List[int], List[int], List[int]]:
+        """A tile's replica state as shared-array row indices."""
+        index = self._index
+        members = [index[m] for m in self.tiler.members(tile)]
+        member_set = set(self.tiler.members(tile))
+        mis = [index[m] for m in canonical_order(member_set & self._mis)]
+        backbone = [
+            index[m]
+            for m in canonical_order(member_set & self.backbone_nodes())
+        ]
+        return members, mis, backbone
+
+    # ------------------------------------------------------------------
+    # Worker management
+    # ------------------------------------------------------------------
+    def _start_workers(self) -> None:
+        import multiprocessing
+
+        require_numpy()
+        ctx = multiprocessing.get_context("spawn")
+        self._nodes = canonical_order(self.graph.positions)
+        self._index = {node: i for i, node in enumerate(self._nodes)}
+        self.shared = SharedPositions.create(
+            [
+                (self.graph.positions[n].x, self.graph.positions[n].y)
+                for n in self._nodes
+            ]
+        )
+        for _ in range(self.config.workers):
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, self.shared, self.graph.radius),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append((process, parent_conn))
+        tiles = self.tiler.tiles()
+        for i, tile in enumerate(tiles):
+            self._worker_of[tile] = i % len(self._workers)
+        for tile in tiles:
+            self._send_load(tile)
+
+    def _send_load(self, tile: TileId) -> None:
+        members, mis, backbone = self._tile_spec(tile)
+        _, conn = self._workers[self._worker_of[tile]]
+        conn.send(("load", tile, members, mis, backbone))
+        reply = conn.recv()
+        if reply[0] != "loaded":  # pragma: no cover - protocol error
+            raise RuntimeError(f"unexpected worker reply {reply!r}")
+
+    def _send_drop(self, tile: TileId) -> None:
+        worker = self._worker_of.pop(tile, None)
+        if worker is None:
+            return
+        _, conn = self._workers[worker]
+        conn.send(("drop", tile))
+        reply = conn.recv()
+        if reply[0] != "dropped":  # pragma: no cover - protocol error
+            raise RuntimeError(f"unexpected worker reply {reply!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_batch(self, queries: Sequence[Query]) -> List[Any]:
+        """Answer a batch of read queries, one result per query.
+
+        Each query is routed to the replica of the tile *owning* its
+        first node; routes are answered within that tile (``None`` when
+        the target is beyond the tile's halo).  Worker mode groups the
+        batch per worker and ships at most ``config.batch_size``
+        queries per message.
+        """
+        results: List[Any] = [None] * len(queries)
+        plan: List[Tuple[int, TileId, str, Tuple[Any, ...]]] = []
+        for qid, query in enumerate(queries):
+            op = query[0]
+            args = tuple(query[1:])
+            tile = self.tiler.owner.get(args[0])
+            if tile is None:
+                continue
+            plan.append((qid, tile, op, args))
+        if self.registry is not None:
+            self.registry.counter(
+                "shard_pool_queries_total", "Queries served by the shard pool"
+            ).inc(len(plan))
+        if not self._workers:
+            for qid, tile, op, args in plan:
+                replica = self._replicas.get(tile)
+                if replica is not None:
+                    results[qid] = replica.serve(op, args)
+            return results
+        index = self._index
+        per_worker: Dict[int, List[Tuple[int, TileId, str, Tuple[Any, ...]]]] = {}
+        for qid, tile, op, args in plan:
+            translated = tuple(index[a] for a in args)
+            per_worker.setdefault(self._worker_of[tile], []).append(
+                (qid, tile, op, translated)
+            )
+        batch = self.config.batch_size
+        # Pipeline the chunks: keep a bounded window in flight on every
+        # worker at once, so two workers compute concurrently instead
+        # of serving strictly one after the other.  The window bounds
+        # the pipe backlog (sender and receiver both blocking on a full
+        # pipe would deadlock).
+        window = 2
+        chunks: Dict[int, deque] = {}
+        in_flight: Dict[int, int] = {}
+        for worker_id, items in per_worker.items():
+            chunks[worker_id] = deque(
+                items[lo : lo + batch] for lo in range(0, len(items), batch)
+            )
+            in_flight[worker_id] = 0
+        nodes = self._nodes
+        while any(chunks.values()) or any(in_flight.values()):
+            for worker_id in sorted(chunks):
+                _, conn = self._workers[worker_id]
+                while chunks[worker_id] and in_flight[worker_id] < window:
+                    conn.send(("query", chunks[worker_id].popleft()))
+                    in_flight[worker_id] += 1
+            for worker_id in sorted(chunks):
+                if in_flight[worker_id] == 0:
+                    continue
+                _, conn = self._workers[worker_id]
+                reply = conn.recv()
+                in_flight[worker_id] -= 1
+                if reply[0] != "results":  # pragma: no cover
+                    raise RuntimeError(f"unexpected worker reply {reply!r}")
+                for qid, value in reply[1]:
+                    if isinstance(value, list):
+                        value = [nodes[i] for i in value]
+                    elif isinstance(value, int) and not isinstance(value, bool):
+                        value = self._nodes[value]
+                    results[qid] = value
+        return results
+
+    def dominator(self, node: Node) -> Optional[Node]:
+        """The node's dominator (itself, or its lowest MIS neighbor)."""
+        return self.query_batch([("dominator", node)])[0]
+
+    def backbone_member(self, node: Node) -> bool:
+        """Whether the node is in the stitched backbone."""
+        return bool(self.query_batch([("member", node)])[0])
+
+    def route(self, u: Node, v: Node) -> Optional[List[Node]]:
+        """A black-edge route within ``u``'s tile, or ``None``."""
+        return self.query_batch([("route", u, v)])[0]
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def move(self, node: Node, new_position) -> InvalidationReport:
+        """Move a node: one shared-array row write, a boundary-only
+        re-stitch, and refreshes of exactly the affected replicas."""
+        report = self.backbone.apply_move(node, new_position)
+        if self.shared is not None:
+            row = self._index[node]
+            position = self.graph.positions[node]
+            self.shared.array[row, 0] = position.x
+            self.shared.array[row, 1] = position.y
+        live = set(self.tiler.tiles())
+        refresh = set(report.rebuilt)
+        changed: Set[Node] = set()
+        for tile in sorted(refresh & live):
+            changed |= self._apply_contribution(tile)
+        for tile in [t for t in self._tile_mis if t not in live]:
+            changed |= self._drop_contribution(tile)
+        for moved_or_flipped in canonical_order(changed | {node}):
+            refresh.update(self.tiler.tiles_reading(moved_or_flipped))
+        for tile in sorted(refresh):
+            if tile not in live:
+                if self._workers:
+                    self._send_drop(tile)
+                else:
+                    self._replicas.pop(tile, None)
+            elif self._workers:
+                if tile not in self._worker_of:
+                    self._worker_of[tile] = (
+                        len(self._worker_of) % len(self._workers)
+                    )
+                self._send_load(tile)
+            else:
+                self._replicas[tile] = self._build_local_replica(tile)
+        if self.registry is not None:
+            self.registry.counter(
+                "shard_replica_refreshes_total",
+                "Tile replicas refreshed after churn",
+            ).inc(len(refresh & live))
+        return report
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and release the shared segment."""
+        for process, conn in self._workers:
+            try:
+                conn.send(("close",))
+                conn.recv()
+            except (BrokenPipeError, EOFError):  # pragma: no cover
+                pass
+            conn.close()
+            process.join(timeout=10)
+        self._workers = []
+        if self.shared is not None:
+            self.shared.close()
+            self.shared.unlink()
+            self.shared = None
+
+    def __enter__(self) -> "ShardServePool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -51,6 +51,7 @@ SUBPACKAGES = [
     "repro.transport",
     "repro.faults",
     "repro.backbone",
+    "repro.shard",
 ]
 
 

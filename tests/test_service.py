@@ -487,3 +487,98 @@ class TestFaultSignals:
         service.refresh()
         assert victim in service.graph
         assert service.dominator(victim).ok
+
+
+# ----------------------------------------------------------------------
+# Sharded maintenance (ServiceConfig.sharding)
+# ----------------------------------------------------------------------
+class TestShardedService:
+    """With ``sharding`` set, the backbone is maintained by frontier
+    re-stitching and route invalidation is scoped to the tiles reading
+    the touched nodes — gentle churn must not evict unrelated cached
+    routes, and there is no whole-cache ``clear()`` path at all."""
+
+    @pytest.fixture()
+    def grid(self):
+        from repro.shard.bench import jittered_grid
+
+        return jittered_grid(900, seed=4)
+
+    @pytest.fixture()
+    def sharded(self, grid):
+        from repro.shard import ShardConfig
+
+        return BackboneService(
+            grid.copy(), ServiceConfig(sharding=ShardConfig(tile_size=8.0))
+        )
+
+    def test_backbone_matches_global_service(self, grid, sharded):
+        plain = BackboneService(grid.copy())
+        assert (
+            sharded.backbone().value.dominators
+            == plain.backbone().value.dominators
+        )
+
+    def test_tracks_oracle_through_churn(self, grid, sharded):
+        from repro.wcds import algorithm2_centralized
+
+        nodes = sorted(grid.positions)
+        for step, node in enumerate(nodes[:5]):
+            pos = sharded.graph.positions[node]
+            sharded.move(node, pos.x + 0.15, pos.y - 0.1 * step)
+        result = sharded.backbone()
+        assert result.ok and not result.stale
+        oracle = algorithm2_centralized(sharded.graph)
+        assert result.value.dominators == oracle.dominators
+
+    def test_gentle_churn_keeps_unrelated_cached_routes(self, grid, sharded):
+        # Regression: the non-sharded full-rebuild path clears the
+        # whole route cache; tile-scoped invalidation must keep a
+        # cached route far away from the churn.
+        nodes = sorted(grid.positions)
+        far_u, far_v = nodes[-1], nodes[-2]
+        assert sharded.route(far_u, far_v).ok
+        assert sharded.route_cache.get(far_u, far_v) is not None
+        corner = nodes[0]
+        pos = sharded.graph.positions[corner]
+        sharded.move(corner, pos.x + 0.01, pos.y + 0.01)
+        # ingest already invalidated tile-locally; the far route is
+        # still cached both before and after the refresh absorbs it
+        assert sharded.route_cache.get(far_u, far_v) is not None
+        sharded.refresh()
+        assert sharded.route_cache.get(far_u, far_v) is not None
+        hits_before = sharded.metrics.counters.get("route_cache_hits", 0)
+        assert sharded.route(far_u, far_v).ok
+        assert sharded.metrics.counters["route_cache_hits"] == hits_before + 1
+
+    def test_routes_through_churned_tiles_are_evicted(self, grid, sharded):
+        # A topologically-silent move ingests nothing (no link events),
+        # so the eviction contract is exercised by a move big enough to
+        # flip unit-disk edges around the endpoint.
+        nodes = sorted(grid.positions)
+        near_u = nodes[0]
+        near_v = min(sharded.graph.adjacency(near_u), default=near_u)
+        assert sharded.route(near_u, near_v).ok
+        assert sharded.route_cache.get(near_u, near_v) is not None
+        pos = sharded.graph.positions[near_u]
+        sharded.move(near_u, pos.x + 0.6, pos.y + 0.6)
+        assert sharded.metrics.counters.get("updates_move", 0) == 1
+        assert sharded.route_cache.get(near_u, near_v) is None
+
+    def test_join_and_leave_absorbed_by_restitching(self, grid, sharded):
+        from repro.wcds import algorithm2_centralized
+        from repro.wcds.base import is_weakly_connected_dominating_set
+
+        newcomer = max(grid.positions) + 1
+        sharded.join(newcomer, 1.3, 1.3)
+        assert sharded.dominator(newcomer).ok
+        assert (
+            sharded.backbone().value.dominators
+            == algorithm2_centralized(sharded.graph).dominators
+        )
+        sharded.leave(newcomer)
+        result = sharded.backbone()
+        assert newcomer not in sharded.graph
+        assert is_weakly_connected_dominating_set(
+            sharded.graph, result.value.dominators
+        )

@@ -1,0 +1,189 @@
+"""The shard serve pool: shared memory, spawn workers, and churn.
+
+Worker processes are started with the ``spawn`` method (the only one
+safe on every platform), so everything crossing the process boundary
+must pickle: the position array travels as a shared-memory attach
+handle, and configs travel by value.  The pool's answers must be
+identical whether tiles are served by in-process replicas or by
+workers reconstructing them from the shared rows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import random
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.shard import ShardConfig, SharedPositions, ShardServePool
+from repro.shard.bench import jittered_grid
+from repro.sim.config import SimConfig
+
+
+def _echo_shared(shared: SharedPositions, config: SimConfig, conn) -> None:
+    """Spawn target: read the shared rows and the config by value."""
+    try:
+        conn.send(
+            (
+                shared.count,
+                [tuple(row) for row in shared.array.tolist()],
+                config.seed,
+            )
+        )
+    finally:
+        shared.close()
+        conn.close()
+
+
+class TestSharedPositions:
+    def test_pickle_round_trip_maps_same_memory(self):
+        shared = SharedPositions.create([(1.5, 2.5), (3.25, -1.0)])
+        try:
+            attached = pickle.loads(pickle.dumps(shared))
+            assert attached.count == 2
+            assert attached.array[1, 0] == 3.25
+            # same memory, not a copy: a write is visible on both sides
+            shared.array[0, 1] = 9.0
+            assert attached.array[0, 1] == 9.0
+            attached.close()
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_spawn_round_trip_with_sim_config(self):
+        # The montecarlo picklability contract, extended to the shard
+        # layer: positions and SimConfig must survive a spawn boundary.
+        ctx = multiprocessing.get_context("spawn")
+        coords = [(0.0, 0.0), (0.5, 0.25), (-1.5, 2.0)]
+        shared = SharedPositions.create(coords)
+        config = SimConfig(seed=1234)
+        parent, child = ctx.Pipe()
+        try:
+            process = ctx.Process(
+                target=_echo_shared, args=(shared, config, child)
+            )
+            process.start()
+            count, rows, seed = parent.recv()
+            process.join(timeout=30)
+            assert process.exitcode == 0
+            assert count == len(coords)
+            assert rows == coords
+            assert seed == 1234
+        finally:
+            parent.close()
+            child.close()
+            shared.close()
+            shared.unlink()
+
+    def test_shard_config_pickles_under_spawn_protocol(self):
+        config = ShardConfig(tile_size=6.0, workers=2, batch_size=64)
+        clone = pickle.loads(
+            pickle.dumps(config, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert clone == config
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return jittered_grid(900, seed=7)
+
+
+def _mixed_queries(pool, count, seed):
+    rng = random.Random(seed)
+    nodes = sorted(pool.graph.positions)
+    queries = []
+    for _ in range(count):
+        op = ("dominator", "member", "route")[rng.randrange(3)]
+        u = nodes[rng.randrange(len(nodes))]
+        if op == "route":
+            owned = pool.tiler.owned(pool.tiler.owner[u])
+            v = owned[rng.randrange(len(owned))]
+            queries.append((op, u, v))
+        else:
+            queries.append((op, u))
+    return queries
+
+
+class TestPoolEquivalence:
+    def test_workers_answer_exactly_like_inline(self, deployment):
+        inline = ShardServePool(
+            deployment.copy(), ShardConfig(tile_size=6.0, workers=0)
+        )
+        queries = _mixed_queries(inline, 200, seed=11)
+        expected = inline.query_batch(queries)
+        inline.close()
+        with ShardServePool(
+            deployment.copy(), ShardConfig(tile_size=6.0, workers=2)
+        ) as pool:
+            assert pool.query_batch(queries) == expected
+
+    def test_convenience_queries(self, deployment):
+        with ShardServePool(
+            deployment.copy(), ShardConfig(tile_size=6.0)
+        ) as pool:
+            node = sorted(deployment.positions)[0]
+            dominator = pool.dominator(node)
+            assert dominator is not None
+            assert pool.backbone_member(dominator)
+            path = pool.route(node, node)
+            assert path == [node]
+
+    def test_unknown_node_yields_none(self, deployment):
+        with ShardServePool(
+            deployment.copy(), ShardConfig(tile_size=6.0)
+        ) as pool:
+            assert pool.dominator(object()) is None
+
+
+class TestPoolChurn:
+    def test_gentle_interior_churn_is_boundary_only(self, deployment):
+        from repro.shard.bench import bench_invalidation
+
+        report = bench_invalidation(
+            deployment.copy(), tile_size=8.0, churn_events=8, seed=2
+        )
+        assert report["churn_events"] > 0
+        assert report["tiles_cascaded"] == 0
+        assert report["boundary_only"] is True
+        # every event stayed within the tiles reading the moved node
+        assert report["max_tiles_rebuilt_per_event"] <= 4
+        assert report["tiles_rebuilt"] < report["tiles"] * report["churn_events"]
+
+    def test_worker_replicas_refresh_after_move(self, deployment):
+        graph = deployment.copy()
+        with ShardServePool(
+            graph, ShardConfig(tile_size=6.0, workers=2)
+        ) as pool:
+            queries = _mixed_queries(pool, 120, seed=3)
+            rng = random.Random(4)
+            nodes = sorted(graph.positions)
+            for _ in range(5):
+                node = nodes[rng.randrange(len(nodes))]
+                pos = graph.positions[node]
+                pool.move(
+                    node,
+                    Point(
+                        pos.x + rng.uniform(-0.1, 0.1),
+                        pos.y + rng.uniform(-0.1, 0.1),
+                    ),
+                )
+            served = pool.query_batch(queries)
+        inline = ShardServePool(graph, ShardConfig(tile_size=6.0, workers=0))
+        try:
+            assert inline.query_batch(queries) == served
+        finally:
+            inline.close()
+
+    def test_move_report_lists_rebuilt_tiles(self, deployment):
+        graph = deployment.copy()
+        with ShardServePool(graph, ShardConfig(tile_size=6.0)) as pool:
+            node = sorted(graph.positions)[0]
+            pos = graph.positions[node]
+            report = pool.move(node, Point(pos.x + 0.02, pos.y + 0.02))
+            assert report.event == "move"
+            # every still-live seed tile was re-stitched (a seed that
+            # lost its last node is retired, not rebuilt)
+            live = set(pool.tiler.tiles())
+            assert set(report.seed_tiles) & live <= set(report.rebuilt)
