@@ -14,6 +14,8 @@ Usage (installed as ``repro``, or ``python -m repro.cli``):
     repro serve      --requests trace.jsonl       # replay through the service
     repro service-bench --nodes 500               # cached vs rebuild-per-query
     repro obs-report --algorithm 1                # message costs vs Theorem 12
+    repro obs-report --fleet 2                    # cross-process telemetry smoke
+    repro slo --slo-latency route:0.05:0.99       # burn-rate verdict
     repro chaos --quick                           # fault-injection smoke
     repro chaos --loss 0.3 --crashes 2            # full chaos matrix
     repro check                                   # determinism lint (D1-D5)
@@ -195,6 +197,98 @@ def _emit_telemetry(args, registry, tracer=None, **extra) -> None:
         print(f"wrote telemetry to {out}")
     else:
         print(payload)
+
+
+# ----------------------------------------------------------------------
+# SLO / flight-recorder plumbing shared by serve, slo, and obs-report
+# ----------------------------------------------------------------------
+def _add_slo_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slo-latency", action="append", default=[], metavar="OP:SECS[:TARGET]",
+        help="latency objective: requests of OP (or 'any') must finish "
+        "within SECS seconds TARGET of the time (default target 0.99); "
+        "repeatable",
+    )
+    parser.add_argument(
+        "--slo-availability", type=float, default=None, metavar="TARGET",
+        help="availability objective: requests must succeed within any "
+        "deadline TARGET of the time",
+    )
+    parser.add_argument(
+        "--slo-window", type=int, default=256,
+        help="rolling burn-rate window, in requests",
+    )
+    parser.add_argument(
+        "--max-burn-rate", type=float, default=2.0,
+        help="verdict threshold: an SLO fails once its burn rate "
+        "exceeds this multiple of budget",
+    )
+
+
+def _parse_slos(args):
+    """``--slo-latency``/``--slo-availability`` flags into SLO objects."""
+    from repro.obs.slo import SLO
+
+    slos = []
+    for spec in getattr(args, "slo_latency", []):
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"--slo-latency expects OP:SECS[:TARGET], got {spec!r}"
+            )
+        op = None if parts[0] in ("any", "*") else parts[0]
+        threshold = float(parts[1])
+        target = float(parts[2]) if len(parts) == 3 else 0.99
+        slos.append(
+            SLO(
+                name=f"latency-{parts[0]}",
+                kind="latency",
+                op=op,
+                threshold=threshold,
+                target=target,
+                window=args.slo_window,
+                max_burn_rate=args.max_burn_rate,
+            )
+        )
+    if getattr(args, "slo_availability", None) is not None:
+        slos.append(
+            SLO(
+                name="availability",
+                kind="availability",
+                target=args.slo_availability,
+                window=args.slo_window,
+                max_burn_rate=args.max_burn_rate,
+            )
+        )
+    return tuple(slos)
+
+
+def _slo_rows(monitor):
+    return [
+        {
+            "slo": row["slo"],
+            "target": row["target"],
+            "requests": row["total_requests"],
+            "compliance": round(row["compliance"], 4),
+            "burn_rate": round(row["burn_rate"], 2),
+            "budget_left": round(row["budget_remaining"], 3),
+            "verdict": "ok" if row["ok"] else "BURNING",
+        }
+        for row in monitor.status()
+    ]
+
+
+def _arm_flight_recorder(args, process: str = "main"):
+    """Install a process-global flight recorder when --flight-dump was
+    given; returns it (or None)."""
+    from repro.obs.flightrec import FlightRecorder, set_flight_recorder
+
+    path = getattr(args, "flight_dump", None)
+    if not path:
+        return None
+    recorder = FlightRecorder(process=process, dump_path=path)
+    set_flight_recorder(recorder)
+    return recorder
 
 
 # ----------------------------------------------------------------------
@@ -420,10 +514,12 @@ def cmd_serve(args) -> int:
             default_deadline=args.deadline,
             sim=_sim_config(args),
             sharding=sharding,
+            slos=_parse_slos(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    recorder = _arm_flight_recorder(args)
     service = BackboneService(graph, config)
     if sharding is not None and sharding.workers:
         print(
@@ -472,6 +568,15 @@ def cmd_serve(args) -> int:
         title=f"Replay of {source}",
     )
     print_table(service.metrics.rows(), title="Latency (microseconds)")
+    slo_failed = False
+    if service.slo_monitor is not None:
+        print_table(_slo_rows(service.slo_monitor), title="SLO burn rates")
+        slo_failed = not service.slo_monitor.ok()
+    if recorder is not None and recorder.dumps_written:
+        print(
+            f"flight recorder dumped {recorder.dumps_written} artifact(s) "
+            f"to {recorder.dump_path}"
+        )
     payload = json.dumps(summary.metrics, indent=2)
     if args.metrics:
         with open(args.metrics, "w", encoding="utf-8") as handle:
@@ -480,7 +585,7 @@ def cmd_serve(args) -> int:
     else:
         print(payload)
     _emit_telemetry(args, service.metrics.registry, command="serve")
-    return 0
+    return 1 if slo_failed else 0
 
 
 def cmd_service_bench(args) -> int:
@@ -595,9 +700,115 @@ def cmd_shard_bench(args) -> int:
     return 0
 
 
+def _cmd_obs_fleet(args) -> int:
+    """obs-report --fleet: drive the cross-process telemetry pipeline.
+
+    Runs a chaos smoke (so the armed flight recorder sees fault
+    transitions), then a multi-worker serve pool with harvest enabled,
+    and verifies the pipeline's two invariants: parent-side merged
+    counters exactly match the worker-side totals, and every worker
+    span's parent resolves in the stitched trace.
+    """
+    import json
+
+    from repro.faults import default_fault_plan, run_chaos
+    from repro.obs import MetricsRegistry
+    from repro.shard import ShardConfig, ShardServePool
+    from repro.shard.bench import jittered_grid
+
+    recorder = _arm_flight_recorder(args, process="fleet")
+    failures = []
+
+    chaos_graph = connected_random_udg(40, 5.0, seed=args.seed)
+    plan = default_fault_plan(chaos_graph, crashes=1, seed=args.seed)
+    chaos = run_chaos("algorithm2", chaos_graph, plan, seed=args.seed)
+    if not chaos.valid:
+        failures.append("chaos smoke produced an invalid backbone")
+
+    graph = jittered_grid(args.fleet_nodes, seed=args.seed)
+    registry = MetricsRegistry()
+    pool = ShardServePool(
+        graph,
+        ShardConfig(workers=args.fleet, tile_size=8.0),
+        registry=registry,
+    )
+    nodes = sorted(graph.positions)
+    queries = [("dominator", n) for n in nodes[:: 2]]
+    queries += [("member", n) for n in nodes[:: 3]]
+    queries += [("route", nodes[i], nodes[i + 1]) for i in range(0, 60, 2)]
+    pool.query_batch(queries)
+    pool.flush_telemetry()
+    pool.close()
+
+    merged = pool.merged_telemetry()
+    checks = []
+    for name in ("worker_serves_total", "worker_batches_total",
+                 "worker_replies_total"):
+        fleet = sum(
+            child.value
+            for key, child in registry.children(name).items()
+            if "worker" not in dict(key)
+        )
+        worker_side = sum(
+            sum(payload["v"] for _, payload in family["children"])
+            for fam_name, family in merged.get("families", {}).items()
+            if fam_name == name
+        )
+        checks.append({"counter": name, "fleet": fleet,
+                       "worker_side": worker_side,
+                       "exact": fleet == worker_side and fleet > 0})
+        if fleet != worker_side or fleet == 0:
+            failures.append(
+                f"{name}: parent merged {fleet} != worker-side {worker_side}"
+            )
+    if not pool.stitcher.fully_parented():
+        failures.append(
+            f"{len(pool.stitcher.unparented())} spans have unresolvable "
+            "parents"
+        )
+    worker_spans = [
+        r for r in pool.stitcher.records if r["origin"] != "parent"
+    ]
+    if not worker_spans:
+        failures.append("no worker spans were harvested")
+    if args.trace_out:
+        count = pool.stitcher.to_jsonl(args.trace_out)
+        print(f"wrote {count} stitched spans to {args.trace_out}")
+    if recorder is not None:
+        recorder.dump(reason="fleet-report")
+        print(f"flight-recorder artifact: {recorder.dump_path}")
+
+    print_table(checks, title=f"Fleet harvest exactness ({args.fleet} workers)")
+    print_table(
+        [
+            {
+                "workers": len(pool.harvest.workers()),
+                "frames": pool.harvest.frames_absorbed,
+                "spans": len(pool.stitcher.records),
+                "worker_spans": len(worker_spans),
+                "fully_parented": pool.stitcher.fully_parented(),
+                "fault_transitions": chaos.epochs,
+            }
+        ],
+        title="Telemetry pipeline",
+    )
+    _emit_telemetry(args, registry, command="obs-report-fleet")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(json.dumps({"fleet": args.fleet, "ok": True}))
+    return 0
+
+
 def cmd_obs_report(args) -> int:
     from repro.obs import MetricsRegistry, Tracer, measure_message_costs
 
+    if args.fleet is not None:
+        if args.fleet < 1:
+            print("error: --fleet needs at least one worker", file=sys.stderr)
+            return 2
+        return _cmd_obs_fleet(args)
     if not args.telemetry:
         args.telemetry = "json"  # a report always emits
     try:
@@ -641,6 +852,75 @@ def cmd_obs_report(args) -> int:
     _emit_telemetry(args, registry, tracer,
                     command="obs-report", report=report.to_dict())
     return 0 if report.ok else 1
+
+
+def cmd_slo(args) -> int:
+    """Score a workload against declared SLOs and print the verdict."""
+    import json
+
+    from repro.mobility import RandomWaypointModel
+    from repro.service import (
+        BackboneService,
+        ServiceConfig,
+        WorkloadConfig,
+        WorkloadGenerator,
+        replay,
+    )
+
+    graph = _build(args)
+    try:
+        slos = _parse_slos(args)
+        if not slos:
+            from repro.obs.slo import SLO
+
+            # Sensible out-of-the-box objectives: fast queries, almost
+            # always available.
+            slos = (
+                SLO(name="latency-any", kind="latency", threshold=0.05,
+                    target=0.95, window=args.slo_window,
+                    max_burn_rate=args.max_burn_rate),
+                SLO(name="availability", kind="availability", target=0.99,
+                    window=args.slo_window,
+                    max_burn_rate=args.max_burn_rate),
+            )
+        config = ServiceConfig(
+            default_deadline=args.deadline,
+            slos=slos,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    recorder = _arm_flight_recorder(args)
+    service = BackboneService(graph, config)
+    generator = WorkloadGenerator(
+        sorted(graph.nodes(), key=repr),
+        WorkloadConfig(
+            queries=args.queries,
+            churn_every=args.churn_every,
+            seed=args.seed,
+        ),
+    )
+    mobility = RandomWaypointModel(
+        graph,
+        _deployment_side(graph, args),
+        speed_range=(0.01, 0.05),
+        seed=args.seed,
+    )
+    replay(service, list(generator.requests()), mobility=mobility)
+    monitor = service.slo_monitor
+    print_table(_slo_rows(monitor), title="SLO burn rates")
+    if recorder is not None and recorder.dumps_written:
+        print(
+            f"flight recorder dumped {recorder.dumps_written} artifact(s) "
+            f"to {recorder.dump_path}"
+        )
+    ok = monitor.ok()
+    if args.format == "json":
+        print(json.dumps(monitor.to_dict(), indent=2, sort_keys=True))
+    else:
+        print("SLO verdict: " + ("ok" if ok else "ERROR BUDGET BURNING"))
+    _emit_telemetry(args, service.metrics.registry, command="slo")
+    return 0 if ok else 1
 
 
 def cmd_chaos(args) -> int:
@@ -872,9 +1152,33 @@ def build_parser() -> argparse.ArgumentParser:
                    "serving in-process)")
     p.add_argument("--tile-size", type=float, default=8.0,
                    help="tile side in radio-radius units (with --shards)")
+    p.add_argument("--flight-dump", metavar="FILE",
+                   help="arm a flight recorder that dumps its ring here "
+                   "on deadline miss or fault")
+    _add_slo_args(p)
     _add_sim_args(p)
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "slo",
+        help="score a workload against latency/availability SLOs and "
+        "print the burn-rate verdict (exit 1 while budgets burn)",
+    )
+    _add_topology_args(p)
+    p.add_argument("--queries", type=int, default=500,
+                   help="synthetic workload size")
+    p.add_argument("--churn-every", type=int, default=100,
+                   help="churn marker every N queries")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--flight-dump", metavar="FILE",
+                   help="arm a flight recorder that dumps its ring here "
+                   "on deadline miss or fault")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_slo_args(p)
+    _add_telemetry_args(p)
+    p.set_defaults(func=cmd_slo)
 
     p = sub.add_parser(
         "service-bench", help="service throughput: cached vs rebuild-per-query"
@@ -918,6 +1222,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7, help="random seed")
     p.add_argument("--slack", type=float, default=1.75,
                    help="headroom factor over the calibrated envelope")
+    p.add_argument("--fleet", type=int, default=None, metavar="N",
+                   help="instead of the envelope sweep: run an N-worker "
+                   "serve pool with cross-process harvest under a chaos "
+                   "smoke and verify merged counters + stitched traces")
+    p.add_argument("--fleet-nodes", type=int, default=400,
+                   help="deployment size of the --fleet pool")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="with --fleet: write the stitched trace JSONL here")
+    p.add_argument("--flight-dump", metavar="FILE",
+                   help="with --fleet: arm a flight recorder dumping here")
     _add_telemetry_args(p)
     p.set_defaults(func=cmd_obs_report)
 

@@ -26,6 +26,7 @@ from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 from repro.faults.plan import Crash, FaultPlan, LossBurst, Partition
 from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import is_connected
+from repro.obs.flightrec import flight_record
 
 #: Algorithms the chaos harness can drive (backbone registry names).
 CHAOS_ALGORITHMS = ("algorithm1", "algorithm2")
@@ -197,6 +198,12 @@ def run_chaos(
             )
         except (RuntimeError, ValueError) as exc:
             report.notes.append(f"epoch {epoch + 1}: {exc}")
+            flight_record(
+                "chaos_epoch_failed",
+                algorithm=algorithm,
+                epoch=epoch + 1,
+                error=str(exc),
+            )
         after = _message_totals(registry)
         _accumulate(report, before, after, CONTROL_KINDS)
         if result is not None:

@@ -25,7 +25,24 @@ from repro.obs.cost import (
     annotate_phase,
     measure_message_costs,
 )
+from repro.obs.flightrec import (
+    FlightRecorder,
+    flight_record,
+    get_flight_recorder,
+    set_flight_recorder,
+)
+from repro.obs.pipeline import (
+    SpanRecorder,
+    TelemetryFrame,
+    TelemetryHarvest,
+    TraceContext,
+    TraceStitcher,
+    empty_snapshot,
+    merge_snapshots,
+    snapshot_state,
+)
 from repro.obs.prometheus import escape_label_value
+from repro.obs.slo import SLO, SLOMonitor
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -46,6 +63,7 @@ from repro.obs.tracing import (
 __all__ = [
     "CostSample",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "LatencyHistogram",
@@ -53,12 +71,25 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "NullTracer",
+    "SLO",
+    "SLOMonitor",
     "Span",
+    "SpanRecorder",
+    "TelemetryFrame",
+    "TelemetryHarvest",
+    "TraceContext",
+    "TraceStitcher",
     "Tracer",
     "annotate_phase",
+    "empty_snapshot",
     "escape_label_value",
+    "flight_record",
+    "get_flight_recorder",
     "get_tracer",
     "measure_message_costs",
+    "merge_snapshots",
+    "set_flight_recorder",
     "set_tracer",
+    "snapshot_state",
     "use_tracer",
 ]

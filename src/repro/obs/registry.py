@@ -207,10 +207,22 @@ class MetricsRegistry:
     1.0
 
     Registering the same name under a different kind is an error.
+
+    Labeled children are capped at ``max_label_children`` per family
+    (per-tile and per-worker labels must not grow unbounded at 100k
+    tiles): past the cap, new label sets get a detached, unregistered
+    child — call sites keep working, exports stay bounded — and the
+    ``obs_dropped_labels_total{family=...}`` counter records the drop.
     """
 
-    def __init__(self) -> None:
+    #: Dropped-labels counter family (exempt from the cap itself).
+    DROPPED_LABELS = "obs_dropped_labels_total"
+
+    def __init__(self, *, max_label_children: int = 1024) -> None:
+        if max_label_children < 1:
+            raise ValueError("max_label_children must be positive")
         self._families: Dict[str, _Family] = {}
+        self.max_label_children = max_label_children
 
     # ------------------------------------------------------------------
     # Registration / lookup
@@ -230,8 +242,37 @@ class MetricsRegistry:
         child = family.children.get(key)
         if child is None:
             factory = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}[kind]
+            if (
+                key
+                and name != self.DROPPED_LABELS
+                and self._labeled_count(family) >= self.max_label_children
+            ):
+                # Over the cardinality cap: hand back a working but
+                # detached child and count the drop through a direct
+                # path (never via _child, so the drop counter can't
+                # recurse into its own guard).
+                self._count_dropped(name)
+                return factory(name, key)
             child = family.children[key] = factory(name, key)
         return child
+
+    @staticmethod
+    def _labeled_count(family: _Family) -> int:
+        return len(family.children) - (1 if () in family.children else 0)
+
+    def _count_dropped(self, name: str) -> None:
+        dropped = self._families.get(self.DROPPED_LABELS)
+        if dropped is None:
+            dropped = self._families[self.DROPPED_LABELS] = _Family(
+                self.DROPPED_LABELS,
+                COUNTER,
+                "labeled children rejected by the cardinality cap",
+            )
+        key = _label_key({"family": name})
+        child = dropped.children.get(key)
+        if child is None:
+            child = dropped.children[key] = Counter(self.DROPPED_LABELS, key)
+        child.inc()
 
     def counter(self, name: str, help: str = "", **labels) -> Counter:
         """The counter ``name`` for ``labels`` (created on first use)."""

@@ -8,8 +8,9 @@ are sized for the 100-1000 node deployments the benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.obs.slo import SLO
 from repro.shard.config import ShardConfig
 from repro.sim.config import SimConfig
 
@@ -56,6 +57,11 @@ class ServiceConfig:
     #: members rather than a hop-radius sweep (and never the whole
     #: cache).  ``None`` keeps the global single-process path.
     sharding: Optional[ShardConfig] = None
+    #: Declarative objectives scored against every request
+    #: (:class:`repro.obs.slo.SLO`); the service then exposes an
+    #: :class:`~repro.obs.slo.SLOMonitor` as ``service.slo_monitor``
+    #: with burn-rate gauges in the registry.  Empty = no scoring.
+    slos: Tuple[SLO, ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 < self.rebuild_threshold <= 1.0:
@@ -68,3 +74,5 @@ class ServiceConfig:
             raise ValueError("queue_capacity must be positive")
         if not 0.0 < self.cost_ewma_alpha <= 1.0:
             raise ValueError("cost_ewma_alpha must be in (0, 1]")
+        if not isinstance(self.slos, tuple):
+            object.__setattr__(self, "slos", tuple(self.slos))

@@ -32,6 +32,8 @@ from typing import Callable, Dict, Hashable, List, Optional, Tuple
 from repro.graphs.udg import UnitDiskGraph
 from repro.mobility.maintenance import MaintainedWCDS
 from repro.mobility.waypoint import LinkEvents
+from repro.obs.flightrec import flight_record
+from repro.obs.slo import SLOMonitor
 from repro.routing.clusterhead import ClusterheadRouter
 from repro.service.cache import BackboneCache, RouteCache, topology_fingerprint
 from repro.service.config import ServiceConfig
@@ -83,6 +85,13 @@ class BackboneService:
         self.clock = clock
         self.graph = udg
         self.metrics = ServiceMetrics(registry)
+        #: Scores every request against the configured objectives
+        #: (``None`` when ``config.slos`` is empty).
+        self.slo_monitor: Optional[SLOMonitor] = (
+            SLOMonitor(self.config.slos, registry=self.metrics.registry)
+            if self.config.slos
+            else None
+        )
         self.route_cache = RouteCache(self.config.route_cache_size)
         self.backbone_cache = BackboneCache(self.config.backbone_cache_size)
         self.queue = RequestQueue(self.config.queue_capacity)
@@ -172,6 +181,7 @@ class BackboneService:
         """
         from repro.faults.plan import Crash, LossBurst, Partition, Revive
 
+        flight_record("fault_signal", event=type(event).__name__)
         if isinstance(event, Crash):
             node = event.node
             if node in self.graph:
@@ -432,9 +442,19 @@ class BackboneService:
         missed = deadline is not None and elapsed > deadline
         if missed:
             self.metrics.incr("deadline_misses")
+            flight_record(
+                "deadline_miss",
+                op=request.op,
+                elapsed=elapsed,
+                deadline=deadline,
+            )
         if response.stale:
             self.metrics.incr("stale_served")
         self.metrics.observe(request.op, elapsed)
+        if self.slo_monitor is not None:
+            self.slo_monitor.record(
+                request.op, elapsed, ok=response.ok, deadline_missed=missed
+            )
         return Response(
             request=response.request,
             ok=response.ok,

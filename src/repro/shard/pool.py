@@ -41,6 +41,14 @@ from typing import (
 from repro.graphs.graph import canonical_order
 from repro.graphs.udg import UnitDiskGraph
 from repro.kernels._compat import require_numpy
+from repro.obs.flightrec import flight_record, get_flight_recorder
+from repro.obs.pipeline import (
+    SpanRecorder,
+    TelemetryFrame,
+    TelemetryHarvest,
+    TraceContext,
+    TraceStitcher,
+)
 from repro.obs.tracing import get_tracer
 from repro.shard.config import ShardConfig
 from repro.shard.stitch import InvalidationReport, ShardedBackbone
@@ -197,35 +205,130 @@ def _replica_from_shared(
     return _TileReplica(members, adjacency, mis, backbone)
 
 
-def _worker_main(conn, shared: Optional[SharedPositions], radius: float) -> None:
+class _WorkerTelemetry:
+    """A worker's private registry, span recorder, and frame counter.
+
+    Lives only when the parent enabled telemetry; ``frame()`` snapshots
+    the cumulative metric state plus the spans finished since the last
+    frame (metrics are cumulative so a lost frame is harmless, spans
+    are incremental so the stitcher never sees duplicates).
+    """
+
+    def __init__(self, label: str) -> None:
+        from repro.obs.registry import MetricsRegistry
+
+        self.label = label
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(label)
+        self.seq = 0
+        # Registry child lookups build sorted label keys; at one inc per
+        # served query that dominates the telemetry overhead, so the
+        # per-op children are cached here and incremented directly.
+        self._serves: Dict[str, Any] = {}
+        self.batches = self.registry.counter(
+            "worker_batches_total", "query batches served"
+        )
+        self.replies = self.registry.counter(
+            "worker_replies_total", "pipe replies sent"
+        )
+
+    def count_serve(self, op: str) -> None:
+        counter = self._serves.get(op)
+        if counter is None:
+            counter = self.registry.counter(
+                "worker_serves_total", "queries served", op=op
+            )
+            self._serves[op] = counter
+        counter.inc()
+
+    def frame(self) -> TelemetryFrame:
+        self.seq += 1
+        return TelemetryFrame.capture(
+            self.label, self.seq, self.registry, spans=self.spans.drain()
+        )
+
+
+def _worker_main(
+    conn: Any,
+    shared: Optional[SharedPositions],
+    radius: float,
+    label: str = "w?",
+    telemetry: bool = False,
+) -> None:
     """Worker loop: maintain tile replicas, answer query batches.
 
     Module-level so the ``spawn`` start method can import it; all
-    state arrives through the pipe or the shared position array.
+    state arrives through the pipe or the shared position array.  With
+    ``telemetry`` the worker keeps a private registry + span recorder
+    and piggybacks a :class:`TelemetryFrame` on every reply that can
+    carry one; dispatch messages carry the parent's
+    :class:`TraceContext` so worker spans nest under the dispatch span.
     """
     replicas: Dict[TileId, _TileReplica] = {}
+    tel = _WorkerTelemetry(label) if telemetry else None
     while True:
-        message = conn.recv()
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Parent vanished (crash test, hard teardown): exit quietly
+            # instead of spraying a traceback from the spawn bootstrap.
+            return
         kind = message[0]
         if kind == "load":
-            _, tile, members, mis, backbone = message
-            replicas[tile] = _replica_from_shared(
-                shared, radius, members, mis, backbone
-            )
+            _, tile, members, mis, backbone, ctx = message
+            if tel is not None:
+                with tel.spans.span(
+                    "shard.replica_load", parent=ctx, tile=str(tile)
+                ) as span:
+                    replicas[tile] = _replica_from_shared(
+                        shared, radius, members, mis, backbone
+                    )
+                    span.set_attr("members", len(members))
+                tel.registry.counter(
+                    "worker_replica_loads_total", "tile replicas (re)built"
+                ).inc()
+            else:
+                replicas[tile] = _replica_from_shared(
+                    shared, radius, members, mis, backbone
+                )
             conn.send(("loaded", tile))
         elif kind == "drop":
             replicas.pop(message[1], None)
             conn.send(("dropped", message[1]))
         elif kind == "query":
-            _, items = message
+            _, items, ctx = message
             results = []
-            for qid, tile, op, args in items:
-                replica = replicas.get(tile)
-                value = None if replica is None else replica.serve(op, args)
-                results.append((qid, value))
-            conn.send(("results", results))
+            if tel is not None:
+                with tel.spans.span(
+                    "shard.serve_batch", parent=ctx, items=len(items)
+                ):
+                    for qid, tile, op, args in items:
+                        replica = replicas.get(tile)
+                        value = (
+                            None if replica is None else replica.serve(op, args)
+                        )
+                        results.append((qid, value))
+                        tel.count_serve(op)
+                tel.batches.inc()
+                # Count the reply *before* capturing the frame so the
+                # in-flight reply is included in its own snapshot —
+                # that is what makes parent-side totals exact.
+                tel.replies.inc()
+                conn.send(("results", results, tel.frame()))
+            else:
+                for qid, tile, op, args in items:
+                    replica = replicas.get(tile)
+                    value = None if replica is None else replica.serve(op, args)
+                    results.append((qid, value))
+                conn.send(("results", results, None))
+        elif kind == "flush":
+            if tel is not None:
+                tel.replies.inc()
+            conn.send(("frame", tel.frame() if tel is not None else None))
         elif kind == "close":
-            conn.send(("bye",))
+            if tel is not None:
+                tel.replies.inc()
+            conn.send(("bye", tel.frame() if tel is not None else None))
             break
         else:  # pragma: no cover - protocol error
             raise ValueError(f"unknown message {kind!r}")
@@ -255,10 +358,26 @@ class ShardServePool:
         self.registry = registry
         self.tracer = tracer if tracer is not None else get_tracer()
         self.graph = graph
+        # Thread the *resolved* registry/tracer through (passing the raw
+        # argument would hand the replicas a None tracer and silently
+        # drop their instrumentation).
         self.backbone = ShardedBackbone(
-            graph, self.config, registry=registry, tracer=tracer
+            graph, self.config, registry=self.registry, tracer=self.tracer
         )
         self.tiler = self.backbone.tiler
+        #: Cross-process telemetry is on whenever the pool has a
+        #: registry: workers then keep private registries + span
+        #: recorders and ship TelemetryFrames home on their replies.
+        self.telemetry = registry is not None
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder("parent") if self.telemetry else None
+        )
+        self.harvest: Optional[TelemetryHarvest] = (
+            TelemetryHarvest(registry) if self.telemetry else None
+        )
+        self.stitcher: Optional[TraceStitcher] = (
+            TraceStitcher() if self.telemetry else None
+        )
         #: Global backbone membership, maintained incrementally from
         #: per-tile contributions (connector picks are refcounted: two
         #: tiles may choose the same intermediate).
@@ -371,11 +490,17 @@ class ShardServePool:
                 for n in self._nodes
             ]
         )
-        for _ in range(self.config.workers):
+        for i in range(self.config.workers):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, self.shared, self.graph.radius),
+                args=(
+                    child_conn,
+                    self.shared,
+                    self.graph.radius,
+                    f"w{i}",
+                    self.telemetry,
+                ),
                 daemon=True,
             )
             process.start()
@@ -387,11 +512,65 @@ class ShardServePool:
         for tile in tiles:
             self._send_load(tile)
 
+    def _worker_died(self, worker_id: int, error: BaseException) -> None:
+        """A worker stopped answering: count it, flight-record it (which
+        dumps the recorder when armed), and surface the failure."""
+        if self.registry is not None:
+            self.registry.counter(
+                "shard_worker_deaths_total", "workers that stopped answering"
+            ).inc()
+        flight_record(
+            "worker_death", worker=f"w{worker_id}", error=type(error).__name__
+        )
+        raise RuntimeError(f"shard pool worker w{worker_id} died") from error
+
+    def _worker_send(self, worker_id: int, message: Tuple[Any, ...]) -> None:
+        _, conn = self._workers[worker_id]
+        try:
+            conn.send(message)
+        except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
+            self._worker_died(worker_id, exc)
+
+    def _worker_recv(self, worker_id: int) -> Tuple[Any, ...]:
+        _, conn = self._workers[worker_id]
+        try:
+            return conn.recv()
+        except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
+            self._worker_died(worker_id, exc)
+            raise  # pragma: no cover - _worker_died always raises
+
+    def _absorb(self, frame: Optional[TelemetryFrame]) -> None:
+        """Fold one worker frame into the parent-side pipeline."""
+        if frame is None or self.harvest is None:
+            return
+        self.harvest.absorb(frame)
+        if frame.spans and self.stitcher is not None:
+            self.stitcher.add(frame.spans)
+        if frame.flight:
+            recorder = get_flight_recorder()
+            if recorder is not None:
+                recorder.extend(frame.flight)
+
     def _send_load(self, tile: TileId) -> None:
         members, mis, backbone = self._tile_spec(tile)
-        _, conn = self._workers[self._worker_of[tile]]
-        conn.send(("load", tile, members, mis, backbone))
-        reply = conn.recv()
+        worker_id = self._worker_of[tile]
+        ctx: Optional[TraceContext] = None
+        if self.spans is not None:
+            with self.spans.span(
+                "shard.load", tile=str(tile), members=len(members)
+            ) as span:
+                ctx = span.context
+                self._worker_send(
+                    worker_id, ("load", tile, members, mis, backbone, ctx)
+                )
+                reply = self._worker_recv(worker_id)
+            if self.stitcher is not None:
+                self.stitcher.add(self.spans.drain())
+        else:
+            self._worker_send(
+                worker_id, ("load", tile, members, mis, backbone, None)
+            )
+            reply = self._worker_recv(worker_id)
         if reply[0] != "loaded":  # pragma: no cover - protocol error
             raise RuntimeError(f"unexpected worker reply {reply!r}")
 
@@ -399,9 +578,8 @@ class ShardServePool:
         worker = self._worker_of.pop(tile, None)
         if worker is None:
             return
-        _, conn = self._workers[worker]
-        conn.send(("drop", tile))
-        reply = conn.recv()
+        self._worker_send(worker, ("drop", tile))
+        reply = self._worker_recv(worker)
         if reply[0] != "dropped":  # pragma: no cover - protocol error
             raise RuntimeError(f"unexpected worker reply {reply!r}")
 
@@ -458,17 +636,50 @@ class ShardServePool:
             )
             in_flight[worker_id] = 0
         nodes = self._nodes
+        ctx: Optional[TraceContext] = None
+        if self.spans is not None:
+            with self.spans.span(
+                "shard.dispatch",
+                queries=len(plan),
+                workers=len(per_worker),
+            ) as span:
+                ctx = span.context
+                # Recorded at dispatch time, before any pipe traffic, so
+                # a worker-death dump always contains the last dispatch.
+                flight_record(
+                    "dispatch",
+                    trace_id=ctx.trace_id,
+                    span_id=ctx.span_id,
+                    queries=len(plan),
+                )
+                self._pump(chunks, in_flight, window, ctx, results, nodes)
+            if self.stitcher is not None:
+                self.stitcher.add(self.spans.drain())
+        else:
+            self._pump(chunks, in_flight, window, None, results, nodes)
+        return results
+
+    def _pump(
+        self,
+        chunks: Dict[int, deque],
+        in_flight: Dict[int, int],
+        window: int,
+        ctx: Optional[TraceContext],
+        results: List[Any],
+        nodes: List[Node],
+    ) -> None:
+        """Drive the windowed send/recv loop over every worker."""
         while any(chunks.values()) or any(in_flight.values()):
             for worker_id in sorted(chunks):
-                _, conn = self._workers[worker_id]
                 while chunks[worker_id] and in_flight[worker_id] < window:
-                    conn.send(("query", chunks[worker_id].popleft()))
+                    self._worker_send(
+                        worker_id, ("query", chunks[worker_id].popleft(), ctx)
+                    )
                     in_flight[worker_id] += 1
             for worker_id in sorted(chunks):
                 if in_flight[worker_id] == 0:
                     continue
-                _, conn = self._workers[worker_id]
-                reply = conn.recv()
+                reply = self._worker_recv(worker_id)
                 in_flight[worker_id] -= 1
                 if reply[0] != "results":  # pragma: no cover
                     raise RuntimeError(f"unexpected worker reply {reply!r}")
@@ -478,7 +689,7 @@ class ShardServePool:
                     elif isinstance(value, int) and not isinstance(value, bool):
                         value = self._nodes[value]
                     results[qid] = value
-        return results
+                self._absorb(reply[2])
 
     def dominator(self, node: Node) -> Optional[Node]:
         """The node's dominator (itself, or its lowest MIS neighbor)."""
@@ -535,19 +746,56 @@ class ShardServePool:
         return report
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def flush_telemetry(self) -> None:
+        """Pull a fresh frame from every live worker (the periodic
+        flush: exact fleet totals without waiting for the next batch)."""
+        if not self.telemetry:
+            return
+        for worker_id in range(len(self._workers)):
+            self._worker_send(worker_id, ("flush",))
+            reply = self._worker_recv(worker_id)
+            if reply[0] != "frame":  # pragma: no cover - protocol error
+                raise RuntimeError(f"unexpected worker reply {reply!r}")
+            self._absorb(reply[1])
+        if self.spans is not None and self.stitcher is not None:
+            self.stitcher.add(self.spans.drain())
+
+    def merged_telemetry(self) -> Dict[str, Any]:
+        """The latest per-worker metric states merged into one fleet
+        state (see :func:`repro.obs.pipeline.merge_snapshots`)."""
+        if self.harvest is None:
+            return {"ts": 0.0, "families": {}}
+        return self.harvest.merged()
+
+    def export_trace(self, path: str) -> int:
+        """Write the stitched trace as JSONL; returns the span count."""
+        if self.stitcher is None:
+            return 0
+        if self.spans is not None:
+            self.stitcher.add(self.spans.drain())
+        return self.stitcher.to_jsonl(path)
+
+    # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop workers and release the shared segment."""
+        """Stop workers (absorbing their final frames) and release the
+        shared segment."""
         for process, conn in self._workers:
             try:
                 conn.send(("close",))
-                conn.recv()
-            except (BrokenPipeError, EOFError):  # pragma: no cover
+                reply = conn.recv()
+                if len(reply) > 1:
+                    self._absorb(reply[1])
+            except (BrokenPipeError, EOFError, OSError):  # pragma: no cover
                 pass
             conn.close()
             process.join(timeout=10)
         self._workers = []
+        if self.spans is not None and self.stitcher is not None:
+            self.stitcher.add(self.spans.drain())
         if self.shared is not None:
             self.shared.close()
             self.shared.unlink()

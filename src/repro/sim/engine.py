@@ -19,6 +19,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
 
 from repro.graphs.graph import Graph, canonical_order
+from repro.obs.flightrec import flight_record
 from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.latency import FixedLatency
 from repro.sim.messages import Message
@@ -228,6 +229,13 @@ class Simulator:
                 "sim_fault_transitions_total",
                 "Fault-plan state changes applied by the simulator",
             ).inc()
+        flight_record(
+            "fault_transition",
+            sim_time=time,
+            dead=len(target),
+            loss=self._loss_now,
+            partitions=len(self._cuts),
+        )
         tracer = self.tracer
         if tracer is not None and hasattr(tracer, "on_fault"):
             tracer.on_fault(

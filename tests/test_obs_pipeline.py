@@ -1,0 +1,329 @@
+"""Cross-process telemetry pipeline: merge laws, harvest, stitching.
+
+The merge laws matter because frames arrive from any number of workers
+in any order: ``merge_snapshots`` must be commutative, associative, and
+identity-preserving or fleet-wide totals would depend on arrival order.
+The hypothesis tests below generate arbitrary registries (counters,
+gauges, histograms — including overflow-bucket samples) and check the
+laws on their snapshot states.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.pipeline import (
+    SpanRecorder,
+    TelemetryFrame,
+    TelemetryHarvest,
+    TraceContext,
+    TraceStitcher,
+    empty_snapshot,
+    merge_snapshots,
+    snapshot_state,
+    state_value,
+)
+from repro.obs.registry import DEFAULT_LOWEST, MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Strategies: a registry with arbitrary counter/gauge/histogram children
+# ----------------------------------------------------------------------
+_NAMES = st.sampled_from(["reqs_total", "depth", "latency_seconds"])
+_LABELS = st.dictionaries(
+    st.sampled_from(["op", "tile"]), st.sampled_from(["a", "b"]), max_size=2
+)
+
+#: Sample values spanning bucket 0 (below the 1e-6 lowest bound), mid
+#: buckets, and the overflow bucket (DEFAULT_LOWEST * 2**40 is the top
+#: nominal bound; 2**21 exceeds it).  All dyadic with a narrow exponent
+#: range, so float64 sums of a handful of samples are *exact* and the
+#: histogram-total merge is associative to the bit — with arbitrary
+#: floats the law only holds to the last ulp.
+_SAMPLES = st.sampled_from(
+    [0.0, 2.0**-21, 2.0**-20, 2.0**-10, 0.25, 1.0, 6.5, 2.0**21]
+)
+assert 2.0**21 > DEFAULT_LOWEST * 2.0**40
+
+
+@st.composite
+def registries(draw):
+    registry = MetricsRegistry()
+    for _ in range(draw(st.integers(0, 4))):
+        kind = draw(st.sampled_from(["counter", "gauge", "histogram"]))
+        labels = draw(_LABELS)
+        if kind == "counter":
+            registry.counter("c_" + draw(_NAMES), **labels).inc(
+                draw(st.integers(0, 1000))
+            )
+        elif kind == "gauge":
+            registry.gauge("g_" + draw(_NAMES), **labels).set(
+                draw(st.integers(-50, 50))
+            )
+        else:
+            hist = registry.histogram("h_" + draw(_NAMES), **labels)
+            for _ in range(draw(st.integers(0, 5))):
+                hist.observe(draw(_SAMPLES))
+    return registry
+
+
+@st.composite
+def states(draw):
+    registry = draw(registries())
+    ts = draw(st.floats(min_value=0.0, max_value=100.0))
+    return snapshot_state(registry, ts=ts)
+
+
+class TestMergeLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(a=states(), b=states())
+    def test_commutative(self, a, b):
+        assert merge_snapshots(a, b) == merge_snapshots(b, a)
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=states(), b=states(), c=states())
+    def test_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert left == right
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=states())
+    def test_identity(self, a):
+        assert merge_snapshots(a, empty_snapshot()) == merge_snapshots(a)
+        assert merge_snapshots(empty_snapshot(), a) == merge_snapshots(a)
+
+    def test_counters_add(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("c", op="x").inc(3)
+        r2.counter("c", op="x").inc(4)
+        r2.counter("c", op="y").inc(1)
+        merged = merge_snapshots(
+            snapshot_state(r1, ts=1.0), snapshot_state(r2, ts=2.0)
+        )
+        assert state_value(merged, "c", op="x") == 7
+        assert state_value(merged, "c", op="y") == 1
+
+    def test_gauges_last_write_wins_by_timestamp(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.gauge("g").set(5)
+        r2.gauge("g").set(9)
+        newer_first = merge_snapshots(
+            snapshot_state(r1, ts=10.0), snapshot_state(r2, ts=2.0)
+        )
+        assert state_value(newer_first, "g") == 5
+        older_first = merge_snapshots(
+            snapshot_state(r2, ts=2.0), snapshot_state(r1, ts=10.0)
+        )
+        assert state_value(older_first, "g") == 5
+
+    def test_histograms_add_bucketwise_including_overflow(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        h1, h2 = r1.histogram("h"), r2.histogram("h")
+        overflow = DEFAULT_LOWEST * 2.0**40 * 8
+        h1.observe(0.001)
+        h1.observe(overflow)
+        h2.observe(0.002)
+        h2.observe(overflow)
+        merged = merge_snapshots(
+            snapshot_state(r1, ts=1.0), snapshot_state(r2, ts=1.0)
+        )
+        payload = merged["families"]["h"]["children"][0][1]
+        assert payload["count"] == 4
+        assert payload["counts"][-1] == 2  # both overflow samples kept
+        assert payload["max"] == overflow
+        assert payload["min"] == 0.001
+
+    def test_kind_conflict_raises(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.counter("m").inc()
+        r2.gauge("m").set(1)
+        with pytest.raises(ValueError):
+            merge_snapshots(snapshot_state(r1), snapshot_state(r2))
+
+    def test_histogram_geometry_mismatch_raises(self):
+        r1, r2 = MetricsRegistry(), MetricsRegistry()
+        r1.histogram("h").observe(1.0)
+        r2.histogram("h").observe(1.0)
+        a = snapshot_state(r1)
+        b = snapshot_state(r2)
+        b["families"]["h"]["children"][0][1]["factor"] = 3.0
+        with pytest.raises(ValueError):
+            merge_snapshots(a, b)
+
+
+class TestTelemetryFrame:
+    def test_pickle_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("worker_serves_total", op="route").inc(5)
+        registry.histogram("lat").observe(0.01)
+        rec = SpanRecorder("w0")
+        with rec.span("shard.serve_batch", items=3):
+            pass
+        frame = TelemetryFrame.capture(
+            "w0", 1, registry, spans=rec.drain(), ts=1.0
+        )
+        clone = pickle.loads(pickle.dumps(frame))
+        assert clone.worker == "w0" and clone.seq == 1
+        assert clone.metrics == frame.metrics
+        assert clone.spans[0]["name"] == "shard.serve_batch"
+
+
+class TestTelemetryHarvest:
+    def _frame(self, worker, seq, serves, ts):
+        registry = MetricsRegistry()
+        registry.counter("worker_serves_total", op="route").inc(serves)
+        return TelemetryFrame.capture(worker, seq, registry, ts=ts)
+
+    def test_deltas_not_double_counted(self):
+        parent = MetricsRegistry()
+        harvest = TelemetryHarvest(parent)
+        # Cumulative frames: 3 then 5 total — parent must see 5, not 8.
+        assert harvest.absorb(self._frame("w0", 1, 3, ts=1.0))
+        assert harvest.absorb(self._frame("w0", 2, 5, ts=2.0))
+        assert parent.value("worker_serves_total", op="route") == 5
+        assert parent.value("worker_serves_total", op="route", worker="w0") == 5
+
+    def test_multiple_workers_sum_fleetwide(self):
+        parent = MetricsRegistry()
+        harvest = TelemetryHarvest(parent)
+        harvest.absorb(self._frame("w0", 1, 3, ts=1.0))
+        harvest.absorb(self._frame("w1", 1, 4, ts=1.0))
+        assert parent.value("worker_serves_total", op="route") == 7
+        assert parent.value("worker_serves_total", op="route", worker="w1") == 4
+        merged = harvest.merged()
+        assert state_value(merged, "worker_serves_total", op="route") == 7
+        assert harvest.workers() == ["w0", "w1"]
+
+    def test_stale_frames_rejected(self):
+        parent = MetricsRegistry()
+        harvest = TelemetryHarvest(parent)
+        assert harvest.absorb(self._frame("w0", 2, 5, ts=2.0))
+        assert not harvest.absorb(self._frame("w0", 1, 3, ts=1.0))
+        assert parent.value("worker_serves_total", op="route") == 5
+
+    def test_worker_restart_applies_full_value(self):
+        parent = MetricsRegistry()
+        harvest = TelemetryHarvest(parent)
+        harvest.absorb(self._frame("w0", 1, 10, ts=1.0))
+        # The worker restarted: its counter went backwards (fresh
+        # registry).  The new total is additional work, not a replay.
+        harvest.absorb(self._frame("w0", 2, 2, ts=2.0))
+        assert parent.value("worker_serves_total", op="route") == 12
+
+    def test_histogram_deltas(self):
+        parent = MetricsRegistry()
+        harvest = TelemetryHarvest(parent)
+        worker = MetricsRegistry()
+        worker.histogram("lat").observe(0.01)
+        harvest.absorb(TelemetryFrame.capture("w0", 1, worker, ts=1.0))
+        worker.histogram("lat").observe(0.02)
+        harvest.absorb(TelemetryFrame.capture("w0", 2, worker, ts=2.0))
+        fleet = parent.histogram("lat")
+        assert fleet.count == 2
+        assert fleet.min == 0.01 and fleet.max == 0.02
+        assert parent.histogram("lat", worker="w0").count == 2
+
+
+class TestSpanRecorderAndStitcher:
+    def test_nesting_and_cross_process_parenting(self):
+        parent = SpanRecorder("parent")
+        with parent.span("shard.dispatch") as dispatch:
+            ctx = dispatch.context
+        worker = SpanRecorder("w0")
+        with worker.span("shard.serve_batch", parent=ctx):
+            with worker.span("inner"):
+                pass
+        stitcher = TraceStitcher()
+        stitcher.add(parent.drain())
+        stitcher.add(worker.drain())
+        assert stitcher.fully_parented()
+        tree = stitcher.tree()
+        assert tree[0]["span"]["name"] == "shard.dispatch"
+        batch = tree[0]["children"][0]
+        assert batch["span"]["name"] == "shard.serve_batch"
+        assert batch["span"]["trace_id"] == ctx.trace_id
+        assert batch["children"][0]["span"]["name"] == "inner"
+
+    def test_unparented_detected(self):
+        stitcher = TraceStitcher()
+        stitcher.add(
+            [{"span_id": "x-s1", "parent_id": "missing", "name": "orphan"}]
+        )
+        assert not stitcher.fully_parented()
+        assert stitcher.unparented()[0]["name"] == "orphan"
+
+    def test_deterministic_ids(self):
+        a, b = SpanRecorder("w0"), SpanRecorder("w0")
+        for rec in (a, b):
+            with rec.span("one"):
+                pass
+            with rec.span("two"):
+                pass
+        ids_a = [(r["span_id"], r["trace_id"]) for r in a.drain()]
+        ids_b = [(r["span_id"], r["trace_id"]) for r in b.drain()]
+        assert ids_a == ids_b
+
+    def test_to_jsonl(self, tmp_path):
+        import json
+
+        rec = SpanRecorder("p")
+        with rec.span("root"):
+            pass
+        stitcher = TraceStitcher()
+        stitcher.add(rec.drain())
+        path = tmp_path / "trace.jsonl"
+        assert stitcher.to_jsonl(str(path)) == 1
+        row = json.loads(path.read_text().strip())
+        assert row["name"] == "root" and row["parent_id"] is None
+
+    def test_trace_context_pickles(self):
+        ctx = TraceContext("t1", "s1")
+        assert pickle.loads(pickle.dumps(ctx)) == ctx
+
+
+class TestCardinalityGuard:
+    def test_cap_drops_new_labeled_children(self):
+        registry = MetricsRegistry(max_label_children=2)
+        registry.counter("m", tile="1").inc()
+        registry.counter("m", tile="2").inc()
+        detached = registry.counter("m", tile="3")
+        detached.inc()  # still a working counter, just unregistered
+        assert detached.value == 1
+        assert registry.value("m", tile="3") == 0
+        assert registry.value("obs_dropped_labels_total", family="m") == 1
+        # Existing children keep resolving to the same object.
+        registry.counter("m", tile="1").inc()
+        assert registry.value("m", tile="1") == 2
+
+    def test_unlabeled_child_exempt_from_cap(self):
+        registry = MetricsRegistry(max_label_children=1)
+        registry.counter("m", tile="1").inc()
+        registry.counter("m").inc()  # the () child never counts
+        assert registry.value("m") == 1
+
+    def test_drop_counter_itself_never_capped(self):
+        registry = MetricsRegistry(max_label_children=1)
+        registry.counter("a", x="1").inc()
+        registry.counter("a", x="2")  # dropped -> obs_dropped{family=a}
+        registry.counter("b", x="1").inc()
+        registry.counter("b", x="2")  # dropped -> obs_dropped{family=b}
+        assert registry.value("obs_dropped_labels_total", family="a") == 1
+        assert registry.value("obs_dropped_labels_total", family="b") == 1
+
+
+class TestPublicSurface:
+    def test_obs_exports_pipeline_names(self):
+        import repro.obs as obs
+
+        for name in (
+            "TelemetryFrame", "TelemetryHarvest", "TraceContext",
+            "SpanRecorder", "TraceStitcher", "merge_snapshots",
+            "snapshot_state", "empty_snapshot", "FlightRecorder",
+            "flight_record", "SLO", "SLOMonitor",
+        ):
+            assert name in obs.__all__ and hasattr(obs, name)

@@ -187,3 +187,148 @@ class TestPoolChurn:
             # lost its last node is retired, not rebuilt)
             live = set(pool.tiler.tiles())
             assert set(report.seed_tiles) & live <= set(report.rebuilt)
+
+
+class TestPoolTelemetry:
+    """The cross-process pipeline acceptance criteria: exact harvested
+    counters, fully parented stitched traces, crash-triggered dumps."""
+
+    def _pool(self, deployment, registry, workers=2):
+        return ShardServePool(
+            deployment.copy(),
+            ShardConfig(tile_size=6.0, workers=workers, batch_size=64),
+            registry=registry,
+        )
+
+    def test_merged_counters_exactly_match_worker_side(self, deployment):
+        from repro.obs import MetricsRegistry
+        from repro.obs.pipeline import state_value
+
+        registry = MetricsRegistry()
+        pool = self._pool(deployment, registry)
+        queries = _mixed_queries(pool, 300, seed=21)
+        pool.query_batch(queries)
+        pool.query_batch(queries[:50])
+        pool.close()  # absorbs the final frames
+        merged = pool.merged_telemetry()
+        per_op: dict = {}
+        for op, *_ in queries + queries[:50]:
+            per_op[op] = per_op.get(op, 0) + 1
+        for op, expected in per_op.items():
+            fleet = registry.value("worker_serves_total", op=op)
+            worker_side = state_value(merged, "worker_serves_total", op=op)
+            # exact equality, which trivially satisfies the >=99% bar
+            assert fleet == worker_side == expected, op
+        split = [
+            registry.value("worker_serves_total", op="dominator", worker=w)
+            for w in ("w0", "w1")
+        ]
+        assert sum(split) == per_op["dominator"]
+        assert all(value > 0 for value in split)
+        assert registry.value("worker_replies_total") == state_value(
+            merged, "worker_replies_total"
+        ) > 0
+
+    def test_trace_export_fully_parented(self, deployment, tmp_path):
+        import json
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        pool = self._pool(deployment, registry)
+        pool.query_batch(_mixed_queries(pool, 150, seed=22))
+        pool.flush_telemetry()
+        pool.close()
+        path = tmp_path / "trace.jsonl"
+        count = pool.export_trace(str(path))
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert len(records) == count > 0
+        span_ids = {r["span_id"] for r in records}
+        worker_records = [r for r in records if r["origin"] != "parent"]
+        assert worker_records, "worker spans must be harvested"
+        for record in records:
+            if record["parent_id"] is not None:
+                assert record["parent_id"] in span_ids, record
+        # every worker span nests under a parent-side dispatch/load span
+        for record in worker_records:
+            assert record["parent_id"] is not None
+            assert record["trace_id"].startswith("parent-")
+        assert pool.stitcher.fully_parented()
+
+    def test_worker_crash_dumps_flight_recorder(self, deployment, tmp_path):
+        import json
+
+        from repro.faults import FaultPlan
+        from repro.faults.plan import Crash
+        from repro.graphs import connected_random_udg
+        from repro.obs import MetricsRegistry
+        from repro.obs.flightrec import FlightRecorder, set_flight_recorder
+        from repro.sim.config import SimConfig
+        from repro.wcds.algorithm2 import algorithm2_distributed
+
+        dump_path = tmp_path / "flight.json"
+        recorder = FlightRecorder(
+            process="main", dump_path=str(dump_path),
+            dump_on=frozenset({"worker_death"}),
+        )
+        set_flight_recorder(recorder)
+        try:
+            # A real fault-plan run first, so the ring holds a genuine
+            # fault transition when the crash dump fires.
+            sim_graph = connected_random_udg(30, 4.0, seed=3)
+            victim = max(sim_graph.nodes())
+            algorithm2_distributed(
+                sim_graph,
+                sim=SimConfig(
+                    fault_plan=FaultPlan(crashes=(Crash(time=2.0, node=victim),)),
+                    transport=True,
+                    seed=3,
+                ),
+            )
+            registry = MetricsRegistry()
+            pool = self._pool(deployment, registry)
+            try:
+                pool.query_batch(_mixed_queries(pool, 80, seed=23))
+                pool._workers[0][0].kill()
+                pool._workers[0][0].join(timeout=10)
+                with pytest.raises(RuntimeError, match="worker w0 died"):
+                    for _ in range(50):
+                        pool.query_batch(_mixed_queries(pool, 80, seed=24))
+            finally:
+                # w0 is gone; skip the close handshake and just reap.
+                for proc, conn in pool._workers:
+                    conn.close()
+                    proc.join(timeout=10)
+                pool._workers = []
+                if pool.shared is not None:
+                    pool.shared.close()
+                    pool.shared.unlink()
+                    pool.shared = None
+            assert registry.value("shard_worker_deaths_total") == 1
+            artifact = json.loads(dump_path.read_text())
+            assert artifact["reason"] == "worker_death"
+            kinds = [entry["kind"] for entry in artifact["entries"]]
+            assert "worker_death" in kinds
+            # the last dispatch span is in the ring...
+            dispatches = [
+                e for e in artifact["entries"] if e["kind"] == "dispatch"
+            ]
+            assert dispatches and dispatches[-1]["span_id"].startswith("parent-")
+            # ...and so is the fault transition from the sim run
+            assert any(e["kind"] == "fault_transition" for e in artifact["entries"])
+        finally:
+            set_flight_recorder(None)
+
+    def test_no_registry_means_no_telemetry_overheads(self, deployment):
+        pool = ShardServePool(
+            deployment.copy(), ShardConfig(tile_size=6.0, workers=2)
+        )
+        try:
+            assert pool.telemetry is False
+            assert pool.harvest is None and pool.stitcher is None
+            assert pool.query_batch([("member", sorted(
+                deployment.positions)[0])]) is not None
+        finally:
+            pool.close()
