@@ -1,4 +1,5 @@
-"""repro.check — determinism lint and schedule-race detection.
+"""repro.check — determinism lint, protocol-flow analysis, race
+detection, and a runtime sanitizer.
 
 The paper's guarantees hold only for *reproducible* executions: the
 marking, election, and convergecast protocols must not depend on Python
@@ -6,18 +7,25 @@ hash order, wall-clock reads, unseeded randomness, or the unspecified
 processing order of simultaneous deliveries.  Sampling tests cannot
 prove those hazards absent; this subsystem checks them mechanically:
 
-* the **AST linter** (:mod:`repro.check.linter`, rules D1–D5 in
-  :mod:`repro.check.rules`) flags unordered iteration with protocol
-  effects, ambient clock/RNG use, float equality in geometry, cross-node
-  state writes, and re-typed paper constants;
+* the **AST linter** (:mod:`repro.check.linter`, rules in
+  :mod:`repro.check.rules`) covers four families: D1–D5 determinism
+  hazards, P1–P4 protocol-flow mismatches (kinds sent without a
+  handler, dead dispatch branches, payload-field and timer-tag
+  mismatches) built on the extracted message-flow graph
+  (:mod:`repro.check.protocol_graph`), S1–S3 spawn-boundary safety for
+  the shard serve pool, and O1–O3 telemetry hygiene;
 * the **race detector** (:mod:`repro.check.races`) re-runs protocols
   under legal delivery-order perturbations and diffs the invariants the
-  theorems pin down.
+  theorems pin down;
+* the **runtime sanitizer** (:mod:`repro.check.sanitize`) records the
+  message-kind alphabet actually exercised at runtime and diffs it
+  against the static graph, and arms write protection on the shared
+  position arrays crossing the spawn boundary.
 
-Both ship behind ``repro check`` (``--format {text,json,github}``,
-``--races``), which CI runs on every change.  See
-``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
-``# repro: noqa[RULE]`` suppression syntax.
+All ship behind ``repro check`` (``--format {text,json,github}``,
+``--races``, ``--protocol-graph {dot,json}``, ``--sanitize``), which CI
+runs on every change.  See ``docs/STATIC_ANALYSIS.md`` for the rule
+catalogue and the ``# repro: noqa[RULE]`` suppression syntax.
 """
 
 from repro.check.linter import (
@@ -29,6 +37,14 @@ from repro.check.linter import (
     make_fixture_config,
     suppressed_lines,
 )
+from repro.check.protocol_graph import (
+    GRAPH_FORMATS,
+    PROTOCOL_PATHS,
+    ModuleProtocolGraph,
+    ProtocolGraph,
+    build_protocol_graph,
+    extract_module_graph,
+)
 from repro.check.races import (
     Divergence,
     RaceReport,
@@ -37,8 +53,18 @@ from repro.check.races import (
     check_protocols,
     detect_races,
     distributed_mis_fingerprint,
+    sharded_wcds_fingerprint,
 )
 from repro.check.rules import ALL_RULES, ModuleSource, Rule, registry, resolve
+from repro.check.sanitize import (
+    RuntimeAlphabet,
+    SanitizeReport,
+    diff_alphabet,
+    probe_worker_protection,
+    sanitized,
+    sanitizer_enabled,
+    verify_protocols,
+)
 from repro.check.violations import (
     FORMATTERS,
     Violation,
@@ -53,15 +79,24 @@ __all__ = [
     "DEFAULT_PATHS",
     "Divergence",
     "FORMATTERS",
+    "GRAPH_FORMATS",
+    "ModuleProtocolGraph",
     "ModuleSource",
+    "PROTOCOL_PATHS",
+    "ProtocolGraph",
     "RaceReport",
     "Rule",
+    "RuntimeAlphabet",
+    "SanitizeReport",
     "Violation",
     "algorithm1_fingerprint",
     "algorithm2_fingerprint",
+    "build_protocol_graph",
     "check_protocols",
     "detect_races",
+    "diff_alphabet",
     "distributed_mis_fingerprint",
+    "extract_module_graph",
     "format_github",
     "format_json",
     "format_text",
@@ -69,7 +104,12 @@ __all__ = [
     "lint_paths",
     "lint_source",
     "make_fixture_config",
+    "probe_worker_protection",
     "registry",
     "resolve",
+    "sanitized",
+    "sanitizer_enabled",
+    "sharded_wcds_fingerprint",
     "suppressed_lines",
+    "verify_protocols",
 ]

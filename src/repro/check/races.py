@@ -223,16 +223,45 @@ def distributed_mis_fingerprint(graph: Graph) -> Runner:
     return run
 
 
+def sharded_wcds_fingerprint(graph: Graph) -> Runner:
+    """The tiled Algorithm II build, perturbed at its own seam.
+
+    An active perturbation seed shuffles the stitcher's within-round
+    frontier-exchange order (see ``ShardedBackbone._stitch``), so this
+    sweep checks the claim the shard subsystem rests on: the fixpoint is
+    order-independent and the result stays *bit-identical* to the
+    centralized oracle.  ``graph`` must be a
+    :class:`~repro.graphs.udg.UnitDiskGraph` (tiling needs positions).
+    """
+    from repro.shard.stitch import build_sharded
+    from repro.wcds.algorithm2 import algorithm2_centralized
+
+    def run() -> Fingerprint:
+        sharded = build_sharded(graph)
+        oracle = algorithm2_centralized(graph)
+        return {
+            "mis": tuple(sorted(sharded.mis_dominators, key=repr)),
+            "dominators": tuple(sorted(sharded.dominators, key=repr)),
+            "matches_centralized": bool(
+                sharded.mis_dominators == oracle.mis_dominators
+                and sharded.dominators == oracle.dominators
+            ),
+        }
+
+    return run
+
+
 PROTOCOL_CHECKS: Dict[str, Callable[[Graph], Runner]] = {
     "algorithm1": algorithm1_fingerprint,
     "algorithm2": algorithm2_fingerprint,
     "mis": distributed_mis_fingerprint,
+    "wcds-sharded": sharded_wcds_fingerprint,
 }
 
 
 def check_protocols(
     graph: Graph,
-    protocols: Tuple[str, ...] = ("algorithm1", "algorithm2"),
+    protocols: Tuple[str, ...] = ("algorithm1", "algorithm2", "wcds-sharded"),
     *,
     perturbations: int = 5,
     base_seed: int = 0,

@@ -1,7 +1,9 @@
 """Rule registry for the determinism linter.
 
-Each rule is registered under its code (``D1``..``D5``); the engine and
-CLI look rules up here.  Adding a rule means writing a
+Each rule is registered under its code (``D1``..``D5`` determinism,
+``P1``..``P4`` protocol flow, ``S1``..``S3`` spawn/shared-memory
+safety, ``O1``..``O3`` telemetry hygiene); the engine and CLI look
+rules up here.  Adding a rule means writing a
 :class:`~repro.check.rules.base.Rule` subclass and listing it in
 ``ALL_RULES``.
 """
@@ -16,6 +18,22 @@ from repro.check.rules.d2_clock_rng import ClockAndRngRule
 from repro.check.rules.d3_float_equality import FloatEqualityRule
 from repro.check.rules.d4_cross_node_mutation import CrossNodeMutationRule
 from repro.check.rules.d5_constant_provenance import ConstantProvenanceRule
+from repro.check.rules.o_telemetry import (
+    BareSpanRule,
+    MetricFamilyConsistencyRule,
+    UnboundedLabelRule,
+)
+from repro.check.rules.p_protocol import (
+    DeadHandlerBranchRule,
+    PayloadFieldMismatchRule,
+    SendWithoutHandlerRule,
+    TimerTagMismatchRule,
+)
+from repro.check.rules.s_spawn import (
+    SharedArrayWriteRule,
+    UnpicklableCaptureRule,
+    WorkerModuleStateRule,
+)
 
 ALL_RULES: Tuple[type, ...] = (
     UnorderedIterationRule,
@@ -23,6 +41,16 @@ ALL_RULES: Tuple[type, ...] = (
     FloatEqualityRule,
     CrossNodeMutationRule,
     ConstantProvenanceRule,
+    SendWithoutHandlerRule,
+    DeadHandlerBranchRule,
+    PayloadFieldMismatchRule,
+    TimerTagMismatchRule,
+    UnpicklableCaptureRule,
+    SharedArrayWriteRule,
+    WorkerModuleStateRule,
+    MetricFamilyConsistencyRule,
+    UnboundedLabelRule,
+    BareSpanRule,
 )
 
 

@@ -66,6 +66,10 @@ class UnorderedIterationRule(base.Rule):
         "src/repro/faults/",
         "src/repro/backbone/",
         "src/repro/shard/",
+        "src/repro/obs/pipeline.py",
+        "src/repro/obs/flightrec.py",
+        "src/repro/obs/slo.py",
+        "src/repro/service/",
     )
 
     def check(self, module: base.ModuleSource) -> Iterator[Violation]:

@@ -1,0 +1,205 @@
+"""O-rules — telemetry hygiene.
+
+The observability layer (:mod:`repro.obs`) is cross-process: metric
+snapshots from spawn workers merge into the parent registry, and traces
+stitch across origins.  Three classes of telemetry mistakes either
+break that merging or melt the registry, and all three are statically
+visible:
+
+* **O1** — a metric family registered with an inconsistent type or
+  labelset across call sites.  The runtime registry raises on the
+  *second* registration, i.e. on whichever code path happens to run
+  later; the lint moves the failure to commit time.
+* **O2** — label values minted from unbounded ID spaces inside hot
+  loops (f-strings / ``str(...)`` over loop-varying data).  Every
+  distinct value becomes a child series; the cardinality cap then drops
+  the overflow, silently losing the data the loop meant to record.
+* **O3** — a span opened outside a ``with`` statement.  Span objects
+  only close (and only report a duration) via their context manager;
+  a bare ``.span(...)`` call leaks an open span into the trace tree.
+
+Analysis is module-local and shape-based; dynamic metric names are
+skipped rather than guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.check.rules import base, common
+from repro.check.violations import Violation
+
+OBS_SCOPE = ("src/repro/", "benchmarks/")
+
+METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+#: Calls that stringify their argument — minting a fresh label value.
+STRINGIFIERS = frozenset({"str", "repr", "format", "hex", "id"})
+
+
+def _metric_calls(tree: ast.AST) -> Iterator[Tuple[str, ast.Call]]:
+    """Yield ``(method, call)`` for every metric-registration call."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in METRIC_METHODS
+            and node.args
+        ):
+            yield node.func.attr, node
+
+
+def _metric_name(call: ast.Call, constants: Dict[str, str]) -> Optional[str]:
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value
+    if isinstance(arg, ast.Name):
+        return constants.get(arg.id)
+    return None
+
+
+def _module_constants(tree: ast.AST) -> Dict[str, str]:
+    table: Dict[str, str] = {}
+    for node in ast.iter_child_nodes(tree):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            table[node.targets[0].id] = node.value.value
+    return table
+
+
+class MetricFamilyConsistencyRule(base.Rule):
+    code = "O1"
+    name = "metric-family-inconsistency"
+    description = (
+        "metric family registered with an inconsistent type or labelset "
+        "across call sites"
+    )
+    scope = OBS_SCOPE
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        constants = _module_constants(module.tree)
+        seen: Dict[str, Tuple[str, frozenset, int]] = {}
+        for method, call in _metric_calls(module.tree):
+            name = _metric_name(call, constants)
+            if name is None:
+                continue  # dynamic family name: cannot compare
+            if any(kw.arg is None for kw in call.keywords):
+                continue  # **labels: labelset unknown
+            labels = frozenset(
+                kw.arg
+                for kw in call.keywords
+                if kw.arg is not None and kw.arg != "help"
+            )
+            if name not in seen:
+                seen[name] = (method, labels, call.lineno)
+                continue
+            first_method, first_labels, first_line = seen[name]
+            if method != first_method:
+                yield self.violation(
+                    module,
+                    call,
+                    f"metric family {name!r} registered as `{method}` here "
+                    f"but as `{first_method}` on line {first_line}; the "
+                    "registry raises on whichever site runs second — pick "
+                    "one type, or justify with `# repro: noqa[O1]`",
+                )
+            elif labels != first_labels:
+                yield self.violation(
+                    module,
+                    call,
+                    f"metric family {name!r} registered with labelset "
+                    f"{sorted(labels)!r} here but {sorted(first_labels)!r} "
+                    f"on line {first_line}; snapshots of the two sites "
+                    "cannot merge — align the labelsets, or justify with "
+                    "`# repro: noqa[O1]`",
+                )
+
+
+class UnboundedLabelRule(base.Rule):
+    code = "O2"
+    name = "unbounded-label-cardinality"
+    description = (
+        "label value minted from an unbounded ID space inside a hot loop"
+    )
+    scope = OBS_SCOPE
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        parents = common.parent_map(module.tree)
+        for _method, call in _metric_calls(module.tree):
+            if not _inside_loop(call, parents):
+                continue
+            for kw in call.keywords:
+                if kw.arg is None or kw.arg == "help":
+                    continue
+                minted = _minted_value(kw.value)
+                if minted is None:
+                    continue
+                yield self.violation(
+                    module,
+                    kw.value,
+                    f"label `{kw.arg}` is minted from {minted} inside a "
+                    "loop; every distinct value becomes a registry child "
+                    "and unbounded ID spaces melt the cardinality cap — "
+                    "use a bounded label (or aggregate outside the loop), "
+                    "or justify with `# repro: noqa[O2]`",
+                )
+
+
+def _inside_loop(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> bool:
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, (ast.For, ast.While, ast.AsyncFor)):
+            return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # a nested def runs outside the loop's iteration
+        current = parents.get(current)
+    return False
+
+
+def _minted_value(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.JoinedStr):
+        if any(isinstance(v, ast.FormattedValue) for v in node.values):
+            return "an f-string"
+        return None
+    if isinstance(node, ast.Call):
+        name = common.call_name(node)
+        if isinstance(node.func, ast.Name) and name in STRINGIFIERS:
+            return f"a `{name}(...)` stringification"
+        if isinstance(node.func, ast.Attribute) and name == "format":
+            return "a `.format(...)` stringification"
+    return None
+
+
+class BareSpanRule(base.Rule):
+    code = "O3"
+    name = "span-outside-context-manager"
+    description = "span opened outside a `with` statement"
+    scope = OBS_SCOPE
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        parents = common.parent_map(module.tree)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "span"
+            ):
+                continue
+            parent = parents.get(node)
+            if isinstance(parent, ast.withitem):
+                continue
+            yield self.violation(
+                module,
+                node,
+                "span opened outside a `with` statement; spans only close "
+                "(and only report a duration) through their context "
+                "manager, so this one leaks open into the trace tree — "
+                "use `with ....span(...) as span:`, or justify with "
+                "`# repro: noqa[O3]`",
+            )

@@ -1,0 +1,244 @@
+"""P-rules — protocol message-flow consistency.
+
+The paper's correctness argument is a message-protocol argument:
+Algorithms I/II are defined by which kinds flow between neighbors and
+what each message carries.  A renamed kind constant or a dropped payload
+field does not crash — the send still transmits, the handler branch
+simply never fires.  These rules cross-check both sides of every kind
+against the statically extracted message-flow graph
+(:mod:`repro.check.protocol_graph`):
+
+* **P1** — a send site whose kind no handler branch in the module
+  dispatches on (the message is transmitted and dropped on the floor);
+* **P2** — a handler branch whose kind no send site in the module emits
+  (dead code that suggests a renamed or retired kind);
+* **P3** — a payload field sent but never read by any handler of that
+  kind, or read but never sent with it;
+* **P4** — a ``set_timer`` tag no ``on_timer`` branch tests, or a timer
+  branch no ``set_timer`` site can reach.
+
+Protocols here are module-cohesive (a kind sent by one class is handled
+by a class in the same module — subclass pairs live together), so the
+matching unit is the module.  Dynamic constructs (a kind held in a
+variable, dispatch delegated to code we cannot follow) switch the
+affected direction off rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.check.protocol_graph import (
+    PROTOCOL_PATHS,
+    ModuleProtocolGraph,
+    TimerBranch,
+    TimerSite,
+    extract_module_graph,
+)
+from repro.check.rules import base
+from repro.check.violations import Violation
+
+
+class _ProtocolRule(base.Rule):
+    """Shared scope + extraction for the P family."""
+
+    scope = PROTOCOL_PATHS
+
+    def check(self, module: base.ModuleSource) -> Iterator[Violation]:
+        graph = extract_module_graph(module)
+        if graph.classes:
+            yield from self.check_graph(module, graph)
+
+    def check_graph(
+        self, module: base.ModuleSource, graph: ModuleProtocolGraph
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+class SendWithoutHandlerRule(_ProtocolRule):
+    code = "P1"
+    name = "sent-kind-without-handler"
+    description = (
+        "broadcast/send site whose message kind no handler branch in the "
+        "module dispatches on"
+    )
+
+    def check_graph(
+        self, module: base.ModuleSource, graph: ModuleProtocolGraph
+    ) -> Iterator[Violation]:
+        if graph.has_dynamic_dispatch():
+            return  # dispatch continues in code we cannot see
+        handled = graph.handled_kinds()
+        for cls in graph.classes:
+            for site in cls.sends:
+                if site.kind is None or site.kind in handled:
+                    continue
+                yield self.violation(
+                    module,
+                    site.node,
+                    f"kind {site.kind!r} is sent here but no handler branch "
+                    "in this module dispatches on it; the message is dropped "
+                    "on delivery — add a branch, or justify with "
+                    "`# repro: noqa[P1]`",
+                )
+
+
+class DeadHandlerBranchRule(_ProtocolRule):
+    code = "P2"
+    name = "dead-handler-branch"
+    description = (
+        "handler branch dispatching on a kind no send site in the module "
+        "emits"
+    )
+
+    def check_graph(
+        self, module: base.ModuleSource, graph: ModuleProtocolGraph
+    ) -> Iterator[Violation]:
+        if graph.has_dynamic_send():
+            return  # a dynamically-named kind could feed any branch
+        sent = graph.sent_kinds()
+        for cls in graph.classes:
+            for branch in cls.branches:
+                dead = [k for k in branch.kinds if k not in sent]
+                if not dead or len(dead) != len(branch.kinds):
+                    continue  # alive if any listed kind is sent
+                kinds = ", ".join(repr(k) for k in dead)
+                yield self.violation(
+                    module,
+                    branch.node,
+                    f"handler branch for {kinds} can never fire: no send "
+                    "site in this module emits the kind — remove the branch "
+                    "or fix the kind constant, or justify with "
+                    "`# repro: noqa[P2]`",
+                )
+
+
+class PayloadFieldMismatchRule(_ProtocolRule):
+    code = "P3"
+    name = "payload-field-mismatch"
+    description = (
+        "payload field sent but never read by any handler of the kind, or "
+        "read but never sent with it"
+    )
+
+    def check_graph(
+        self, module: base.ModuleSource, graph: ModuleProtocolGraph
+    ) -> Iterator[Violation]:
+        handled = graph.handled_kinds()
+        dynamic_dispatch = graph.has_dynamic_dispatch()
+        dynamic_send = graph.has_dynamic_send()
+        for cls in graph.classes:
+            # sent-but-never-read, anchored at the send site
+            for site in cls.sends:
+                if site.kind is None or not site.fields:
+                    continue
+                if dynamic_dispatch or site.kind not in handled:
+                    continue  # unknown handlers / P1's problem
+                reads, wildcard = graph.fields_read(site.kind)
+                if wildcard:
+                    continue
+                for name in site.fields:
+                    if name in reads:
+                        continue
+                    yield self.violation(
+                        module,
+                        site.node,
+                        f"payload field {name!r} of kind {site.kind!r} is "
+                        "sent here but no handler of the kind reads it — "
+                        "drop the field or read it, or justify with "
+                        "`# repro: noqa[P3]`",
+                    )
+            # read-but-never-sent, anchored at the branch
+            for branch in cls.branches:
+                for kind in branch.kinds:
+                    sent_fields, site_dynamic = graph.fields_sent(kind)
+                    has_sites = any(
+                        s.kind == kind for c in graph.classes for s in c.sends
+                    )
+                    if not has_sites or site_dynamic or dynamic_send:
+                        continue  # fields unknown / P2's problem
+                    for name in branch.fields_read:
+                        if name in sent_fields:
+                            continue
+                        yield self.violation(
+                            module,
+                            branch.node,
+                            f"handler reads payload field {name!r} of kind "
+                            f"{kind!r} but no send site of the kind carries "
+                            "it — the read can only ever KeyError or "
+                            "default; fix the send or the read, or justify "
+                            "with `# repro: noqa[P3]`",
+                        )
+
+
+def _set_matches_branch(site: TimerSite, branch: TimerBranch) -> bool:
+    if site.tag is not None:
+        if branch.tag is not None:
+            return site.tag == branch.tag
+        if branch.prefix is not None:
+            return site.tag.startswith(branch.prefix)
+    if site.prefix is not None:
+        if branch.tag is not None:
+            return branch.tag.startswith(site.prefix)
+        if branch.prefix is not None:
+            return site.prefix.startswith(branch.prefix) or branch.prefix.startswith(
+                site.prefix
+            )
+    return False
+
+
+class TimerTagMismatchRule(_ProtocolRule):
+    code = "P4"
+    name = "timer-tag-mismatch"
+    description = (
+        "set_timer tag no on_timer branch tests, or a timer branch no "
+        "set_timer site can reach"
+    )
+
+    def check_graph(
+        self, module: base.ModuleSource, graph: ModuleProtocolGraph
+    ) -> Iterator[Violation]:
+        sites: List[TimerSite] = [
+            t for cls in graph.classes for t in cls.timer_sets
+        ]
+        branches: List[TimerBranch] = [
+            t for cls in graph.classes for t in cls.timer_branches
+        ]
+        dynamic_set = any(cls.dynamic_timer_set for cls in graph.classes)
+        dynamic_dispatch = any(
+            cls.dynamic_timer_dispatch for cls in graph.classes
+        )
+        # set-but-never-tested: only meaningful when some on_timer in the
+        # module actually branches on tags (a tag-ignoring on_timer
+        # handles everything).
+        if branches and not dynamic_dispatch:
+            for site in sites:
+                if site.tag is None and site.prefix is None:
+                    continue
+                if any(_set_matches_branch(site, b) for b in branches):
+                    continue
+                label = site.tag if site.tag is not None else site.prefix + "*"
+                yield self.violation(
+                    module,
+                    site.node,
+                    f"timer tag {label!r} is set here but no on_timer "
+                    "branch in this module tests it; the timer fires into "
+                    "a branch that ignores it — handle the tag, or justify "
+                    "with `# repro: noqa[P4]`",
+                )
+        # dead branch: no set site can produce the tested tag.
+        if not dynamic_set:
+            for branch in branches:
+                if any(_set_matches_branch(s, branch) for s in sites):
+                    continue
+                label = (
+                    branch.tag if branch.tag is not None else str(branch.prefix) + "*"
+                )
+                yield self.violation(
+                    module,
+                    branch.node,
+                    f"on_timer branch for tag {label!r} can never fire: no "
+                    "set_timer site in this module produces the tag — "
+                    "remove the branch or fix the tag, or justify with "
+                    "`# repro: noqa[P4]`",
+                )

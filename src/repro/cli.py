@@ -1016,6 +1016,15 @@ def cmd_check(args) -> int:
         )
         return 0
 
+    if args.protocol_graph:
+        from repro.check import GRAPH_FORMATS, build_protocol_graph
+
+        graph = build_protocol_graph(
+            tuple(args.paths) or None  # None -> the protocol module set
+        )
+        sys.stdout.write(GRAPH_FORMATS[args.protocol_graph](graph))
+        return 0
+
     known = set(registry())
     requested = tuple(code.upper() for code in (args.rule or ()))
     unknown = [code for code in requested if code not in known]
@@ -1067,6 +1076,20 @@ def cmd_check(args) -> int:
         else:
             for report in reports:
                 print(report.format())
+    if args.sanitize:
+        from repro.check import probe_worker_protection, verify_protocols
+
+        sanitize_report = verify_protocols()
+        probe = probe_worker_protection()
+        if args.format == "json":
+            payload = sanitize_report.to_dict()
+            payload["worker_write_probe"] = probe
+            print(json.dumps({"sanitize": payload}, indent=2))
+        else:
+            print(sanitize_report.format())
+            print(f"worker write probe: {probe or 'WRITE WENT THROUGH'}")
+        if not sanitize_report.ok or probe is None:
+            failed = True
     return 1 if failed else 0
 
 
@@ -1286,6 +1309,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-scopes", action="store_true",
         help="ignore the rules' path scoping (lint arbitrary files, e.g. "
         "the fixture corpus)",
+    )
+    p.add_argument(
+        "--protocol-graph", choices=["dot", "json"], metavar="FMT",
+        help="print the static message-flow graph (dot or json) of the "
+        "given paths (default: the protocol module set) and exit",
+    )
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="run Algorithms I/II under the runtime sanitizer (kind "
+        "alphabet must match the static graph) and probe that spawn "
+        "workers cannot write the shared position block",
     )
     p.add_argument(
         "--races", action="store_true",

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer, get_tracer
@@ -41,7 +41,9 @@ EXPONENT_LIMITS = {"1": 1.45, "2": 1.30}
 DEFAULT_SLACK = 1.75
 
 
-def annotate_phase(span, registry, algorithm: str, phase: str, stats) -> None:
+def annotate_phase(
+    span: Any, registry: Any, algorithm: str, phase: str, stats: Any
+) -> None:
     """Record one protocol phase's totals on its span and registry.
 
     ``stats`` is a :class:`~repro.sim.stats.SimStats` (or anything with

@@ -38,7 +38,7 @@ from __future__ import annotations
 import json
 import time
 from collections import deque
-from typing import Any, Deque, Dict, FrozenSet, Iterable, List, Optional
+from typing import Any, Callable, Deque, Dict, FrozenSet, Iterable, List, Optional
 
 #: Event kinds that trigger an immediate dump by default.
 DEFAULT_DUMP_ON = frozenset(
@@ -70,7 +70,7 @@ class FlightRecorder:
         process: str = "main",
         dump_path: Optional[str] = None,
         dump_on: FrozenSet[str] = DEFAULT_DUMP_ON,
-        clock=time.time,
+        clock: Callable[[], float] = time.time,
     ) -> None:
         if capacity < 1:
             raise ValueError("flight recorder capacity must be positive")

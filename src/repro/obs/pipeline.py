@@ -43,7 +43,7 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.obs.registry import COUNTER, GAUGE, HISTOGRAM, MetricsRegistry
 
@@ -61,7 +61,9 @@ def empty_snapshot() -> State:
 
 def snapshot_state(registry: MetricsRegistry, ts: Optional[float] = None) -> State:
     """Freeze ``registry`` into a mergeable, picklable state dict."""
-    stamp = time.time() if ts is None else float(ts)
+    # Snapshot timestamps order gauge merges ACROSS processes, so they
+    # must be wall-clock — there is no shared simulator clock here.
+    stamp = time.time() if ts is None else float(ts)  # repro: noqa[D2]
     families: Dict[str, Any] = {}
     for family in registry.families():
         children = []
@@ -402,7 +404,13 @@ class SpanRecorder:
     spans accumulate as flat JSON-safe records until :meth:`drain`.
     """
 
-    def __init__(self, origin: str, *, clock=time.time, perf=time.perf_counter) -> None:
+    def __init__(
+        self,
+        origin: str,
+        *,
+        clock: Callable[[], float] = time.time,
+        perf: Callable[[], float] = time.perf_counter,
+    ) -> None:
         self.origin = origin
         self.clock = clock
         self.perf = perf

@@ -42,7 +42,7 @@ class _CounterView:
         value = self._registry.value(name)
         return int(value) if value == int(value) else value
 
-    def get(self, name: str, default=0):
+    def get(self, name: str, default: int = 0) -> int:
         return self[name] or default
 
     def __contains__(self, name: str) -> bool:

@@ -27,7 +27,7 @@ repair, rebuild, stale serve, and rejection is counted
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Hashable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.graphs.udg import UnitDiskGraph
 from repro.mobility.maintenance import MaintainedWCDS
@@ -79,7 +79,7 @@ class BackboneService:
         config: Optional[ServiceConfig] = None,
         *,
         clock: Callable[[], float] = time.perf_counter,
-        registry=None,
+        registry: Any = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.clock = clock
@@ -221,7 +221,9 @@ class BackboneService:
             and bool(self._active_partitions)
         )
 
-    def _ingest(self, entry: Tuple, seeds, weight: int) -> None:
+    def _ingest(
+        self, entry: Tuple, seeds: Iterable[Hashable], weight: int
+    ) -> None:
         self._pending.append(entry)
         self._version += 1
         self._plan_cache.clear()
@@ -240,7 +242,9 @@ class BackboneService:
         self.metrics.incr("updates_total")
         self.metrics.incr("route_cache_invalidated", evicted)
 
-    def _sharded_blast_radius(self, entry: Tuple, seeds) -> set:
+    def _sharded_blast_radius(
+        self, entry: Tuple, seeds: Iterable[Hashable]
+    ) -> set:
         """Nodes whose cached routes a sharded update can affect: the
         members of every tile reading a seed node (a joining node is
         mapped by its target position; the tiler has not indexed it
@@ -579,6 +583,7 @@ def _broadcast_plan(snapshot: _Snapshot, source: Hashable) -> Dict[str, object]:
     """
     from collections import deque
 
+    from repro.graphs.graph import canonical_order
     from repro.wcds.base import weakly_induced_subgraph
 
     backbone = set(snapshot.result.dominators)
@@ -599,7 +604,9 @@ def _broadcast_plan(snapshot: _Snapshot, source: Hashable) -> Dict[str, object]:
         if not is_forwarder:
             continue
         forwarders.append(node)
-        for nbr in spanner.adjacency(node):
+        # The returned forwarder schedule is observable output; visit
+        # neighbors canonically so it cannot depend on set order.
+        for nbr in canonical_order(spanner.adjacency(node)):
             if nbr not in heard:
                 heard.add(nbr)
                 frontier.append(nbr)

@@ -18,7 +18,17 @@ from __future__ import annotations
 import json
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.service.requests import Request, Response
 from repro.service.service import BackboneService
@@ -163,7 +173,7 @@ def replay(
     service: BackboneService,
     requests: Iterable[Request],
     *,
-    mobility=None,
+    mobility: Any = None,
     collect_responses: bool = False,
 ) -> ReplaySummary:
     """Feed a request stream through a service's bounded queue.

@@ -104,6 +104,18 @@ class SharedPositions:
     def __reduce__(self):
         return (SharedPositions.attach, (self.name, self.count))
 
+    def protect(self) -> None:
+        """Flip this process's view of the array to read-only.
+
+        The sanitizer harness calls this in workers: the shared block
+        is contractually read-only there (the parent owns churn), and a
+        protected view turns any violating store into an immediate
+        ``ValueError`` at the write site.  Per-process — the parent's
+        own mapping stays writable.
+        """
+        if self.array is not None:
+            self.array.flags.writeable = False
+
     def close(self) -> None:
         """Unmap the segment (the array becomes invalid)."""
         self.array = None
@@ -264,6 +276,12 @@ def _worker_main(
     carry one; dispatch messages carry the parent's
     :class:`TraceContext` so worker spans nest under the dispatch span.
     """
+    from repro.check.sanitize import sanitizer_enabled
+
+    if shared is not None and sanitizer_enabled():
+        # Spawn children inherit the parent's environment, so the
+        # sanitizer flag arms worker-side write protection here.
+        shared.protect()
     replicas: Dict[TileId, _TileReplica] = {}
     tel = _WorkerTelemetry(label) if telemetry else None
     while True:
@@ -321,6 +339,16 @@ def _worker_main(
                     value = None if replica is None else replica.serve(op, args)
                     results.append((qid, value))
                 conn.send(("results", results, None))
+        elif kind == "probe":
+            # Sanitizer probe: deliberately attempt the forbidden write
+            # so tests/CI can prove worker-side protection is armed.
+            error = None
+            if shared is not None:
+                try:
+                    shared.array[0, 0] = shared.array[0, 0]  # repro: noqa[S2]
+                except (ValueError, TypeError) as exc:
+                    error = type(exc).__name__
+            conn.send(("probed", error))
         elif kind == "flush":
             if tel is not None:
                 tel.replies.inc()
@@ -538,6 +566,20 @@ class ShardServePool:
         except (BrokenPipeError, ConnectionResetError, EOFError, OSError) as exc:
             self._worker_died(worker_id, exc)
             raise  # pragma: no cover - _worker_died always raises
+
+    def probe_shared_write(self) -> Optional[str]:
+        """Ask worker 0 to attempt a shared-array write (sanitizer probe).
+
+        Returns the exception name the write raised in the worker, or
+        ``None`` when the write went through — which is the expected
+        answer outside the sanitizer, and the answer an inline pool
+        (no workers, no shared block) always gives.
+        """
+        if not self._workers or self.shared is None:
+            return None
+        self._worker_send(0, ("probe",))
+        reply = self._worker_recv(0)
+        return reply[1]
 
     def _absorb(self, frame: Optional[TelemetryFrame]) -> None:
         """Fold one worker frame into the parent-side pipeline."""

@@ -35,6 +35,7 @@ published frontier status actually changed.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
@@ -227,6 +228,16 @@ class ShardedBackbone:
         touched: Set[TileId] = set()
         rounds = 0
         passes = 0
+        # The within-round tile visit order is internally arbitrary (the
+        # fixpoint is order-independent by rank induction); under an
+        # active race-detector perturbation we shuffle it so that claim
+        # is machine-checked, not just asserted.
+        from repro.sim.engine import active_perturbation_seed
+
+        exchange_seed = active_perturbation_seed()
+        exchange_rng = (
+            random.Random(exchange_seed) if exchange_seed is not None else None
+        )
         # Each exchange round settles at least the globally minimum-rank
         # unsettled node, so n + 1 rounds always suffice; exceeding the
         # bound means a bug, not a slow instance.
@@ -239,7 +250,10 @@ class ShardedBackbone:
                     f"(tiles still unsettled: {sorted(pending)})"
                 )
             dirty: Set[TileId] = set()
-            for tile in sorted(pending):
+            order = sorted(pending)
+            if exchange_rng is not None:
+                exchange_rng.shuffle(order)
+            for tile in order:
                 self._status[tile] = self._local_pass(tile)
                 touched.add(tile)
                 passes += 1

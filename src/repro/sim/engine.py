@@ -71,6 +71,19 @@ def perturbed_schedule(
         _PERTURBATION = previous
 
 
+def active_perturbation_seed() -> Optional[int]:
+    """Seed of the enclosing :func:`perturbed_schedule`, or ``None``.
+
+    Exposed so order-independence claims *outside* the simulator — the
+    shard stitcher's frontier-exchange fixpoint — can opt into the same
+    race sweeps: when a seeded perturbation is active they shuffle their
+    internally-arbitrary visit orders with it.
+    """
+    if _PERTURBATION is None:
+        return None
+    return _PERTURBATION.seed
+
+
 class Simulator:
     """Runs one protocol over all nodes of a communication graph."""
 

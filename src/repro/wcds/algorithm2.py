@@ -188,7 +188,9 @@ class Algorithm2Node(MisNode):
             if not self.rank < self._ranks.get(dom, (dom,)):
                 continue
             self.three_hop_dom[dom] = (via, hop)
-            self.ctx.send(via, SELECTION, u=self.node_id, v=via, x=hop, w=dom)
+            # The paper's SELECTION message carries the full (u, v, x, w)
+            # tuple; the receiver IS v, so it never reads that field.
+            self.ctx.send(via, SELECTION, u=self.node_id, v=via, x=hop, w=dom)  # repro: noqa[P3]
 
     # ------------------------------------------------------------------
     # Additional-dominator declaration and relay (rules 9-10)

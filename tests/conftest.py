@@ -10,6 +10,33 @@ import pytest
 from repro.graphs import Graph, connected_random_udg
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run the whole session under the repro.check runtime "
+        "sanitizer: simulator message kinds are recorded and diffed "
+        "against the static protocol graph at teardown, and shard "
+        "workers arm write protection on shared position arrays",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitize_session(request):
+    """Session-wide sanitizer harness behind ``pytest --sanitize``."""
+    if not request.config.getoption("--sanitize"):
+        yield
+        return
+    from repro.check.sanitize import diff_alphabet, sanitized
+
+    with sanitized() as recorder:
+        yield
+    report = diff_alphabet(recorder)
+    if not report.ok:
+        pytest.fail("runtime sanitizer: " + report.format(), pytrace=False)
+
+
 @pytest.fixture
 def rng():
     """A deterministic RNG for tests that need ad hoc randomness."""

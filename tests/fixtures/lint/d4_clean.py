@@ -9,6 +9,8 @@ class PoliteNode(ProtocolNode):
     def on_message(self, msg):
         self.last_kind = msg.kind
         self.seen.add(msg.sender)
+        if msg.kind == "ACK":
+            return
         self.ctx.broadcast("ACK")
 
     def on_timer(self, tag):

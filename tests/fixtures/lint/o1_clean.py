@@ -1,0 +1,11 @@
+"""O1 clean twin: every family keeps one type and one label set."""
+
+
+def record_queries(registry, n):
+    registry.counter("repro_queries", "queries served").inc()
+    registry.counter("repro_queries", "queries served").inc(n)
+
+
+def record_latency(registry, ms):
+    registry.histogram("repro_latency", "latency", op="route").observe(ms)
+    registry.histogram("repro_latency", "latency", op="query").observe(ms)

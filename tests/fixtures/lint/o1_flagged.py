@@ -1,0 +1,16 @@
+"""O1 fixture: one metric family, two contradictory declarations.
+
+``repro_queries`` is a counter at the first site and a gauge at the
+second, and ``repro_latency`` changes its label set between sites —
+scrape-side aggregation breaks either way.
+"""
+
+
+def record_queries(registry, n):
+    registry.counter("repro_queries", "queries served").inc()
+    registry.gauge("repro_queries", "queries served").set(n)
+
+
+def record_latency(registry, ms):
+    registry.histogram("repro_latency", "latency", op="route").observe(ms)
+    registry.histogram("repro_latency", "latency").observe(ms)

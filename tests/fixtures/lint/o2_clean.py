@@ -1,0 +1,9 @@
+"""O2 clean twin: loop-side labels come from a bounded vocabulary."""
+
+
+def record(registry, nodes):
+    for node in nodes:
+        kind = "backbone" if node.is_dominator else "member"
+        registry.counter(
+            "repro_node_events", "events per node", role=kind
+        ).inc()

@@ -1,0 +1,19 @@
+"""O2 fixture: per-entity label values minted inside a hot loop.
+
+Interpolating a node id into a label creates one time series per node —
+unbounded cardinality, exactly what O2 flags.
+"""
+
+
+def record(registry, nodes):
+    for node in nodes:
+        registry.counter(
+            "repro_node_events", "events per node", node=f"node-{node}"
+        ).inc()
+
+
+def record_str(registry, tiles):
+    for tile in tiles:
+        registry.gauge(
+            "repro_tile_load", "load per tile", tile=str(tile)
+        ).set(1.0)

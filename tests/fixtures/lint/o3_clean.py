@@ -1,0 +1,8 @@
+"""O3 clean twin: spans live inside ``with`` blocks."""
+
+
+def build(tracer, graph):
+    with tracer.span("shard_build", n=graph.num_nodes) as span:
+        result = graph.build()
+        span.set_attr("tiles", result.tiles)
+    return result

@@ -1,0 +1,12 @@
+"""O3 fixture: spans opened without a context manager.
+
+An exception between ``span(...)`` and the manual close leaks the span
+open forever; O3 requires the ``with`` form.
+"""
+
+
+def build(tracer, graph):
+    span = tracer.span("shard_build", n=graph.num_nodes)
+    result = graph.build()
+    span.set_attr("tiles", result.tiles)
+    return result

@@ -1,0 +1,16 @@
+"""P1 clean twin: every sent kind has a dispatch branch."""
+
+PING = "PING"
+
+
+class BeaconNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.heard = 0
+
+    def on_start(self):
+        self.ctx.broadcast(PING)
+
+    def on_message(self, msg):
+        if msg.kind == PING:
+            self.heard += 1

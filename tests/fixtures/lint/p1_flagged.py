@@ -1,0 +1,15 @@
+"""P1 fixture: a resolved message kind sent with no handler anywhere.
+
+The node broadcasts ``PING`` but no class in the module ever dispatches
+on it, so the message is dead air — exactly what P1 flags.
+"""
+
+PING = "PING"
+
+
+class BeaconNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+
+    def on_start(self):
+        self.ctx.broadcast(PING)

@@ -1,0 +1,20 @@
+"""P2 clean twin: both dispatch branches have a matching send site."""
+
+PING = "PING"
+PONG = "PONG"
+
+
+class EchoNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.heard = 0
+
+    def on_start(self):
+        self.ctx.broadcast(PING)
+
+    def on_message(self, msg):
+        if msg.kind == PING:
+            self.heard += 1
+            self.ctx.send(msg.sender, PONG)
+        elif msg.kind == PONG:
+            self.heard -= 1

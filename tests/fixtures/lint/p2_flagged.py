@@ -1,0 +1,23 @@
+"""P2 fixture: a dispatch branch for a kind nothing in the module sends.
+
+The ``PONG`` branch can never execute — no send site (or ``*_kind``
+class attribute) produces that kind.
+"""
+
+PING = "PING"
+PONG = "PONG"
+
+
+class EchoNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.heard = 0
+
+    def on_start(self):
+        self.ctx.broadcast(PING)
+
+    def on_message(self, msg):
+        if msg.kind == PING:
+            self.heard += 1
+        elif msg.kind == PONG:
+            self.heard -= 1

@@ -1,0 +1,16 @@
+"""P3 clean twin: the handler reads exactly what the sender attaches."""
+
+REPORT = "REPORT"
+
+
+class GossipNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.level = 0
+
+    def on_start(self):
+        self.ctx.broadcast(REPORT, level=3)
+
+    def on_message(self, msg):
+        if msg.kind == REPORT:
+            self.level = msg["level"]

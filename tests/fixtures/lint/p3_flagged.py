@@ -1,0 +1,21 @@
+"""P3 fixture: payload fields disagree across the send/handle seam.
+
+The ``REPORT`` sender attaches ``level`` (which the handler never
+reads) and the handler reads ``depth`` (which no sender attaches) —
+both directions of the mismatch P3 flags.
+"""
+
+REPORT = "REPORT"
+
+
+class GossipNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.depth = 0
+
+    def on_start(self):
+        self.ctx.broadcast(REPORT, level=3)
+
+    def on_message(self, msg):
+        if msg.kind == REPORT:
+            self.depth = msg["depth"]

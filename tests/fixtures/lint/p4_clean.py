@@ -1,0 +1,14 @@
+"""P4 clean twin: the armed timer tag is the one the handler tests."""
+
+
+class RetryNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.retries = 0
+
+    def on_start(self):
+        self.ctx.set_timer(5.0, "retry")
+
+    def on_timer(self, tag):
+        if tag == "retry":
+            self.retries += 1

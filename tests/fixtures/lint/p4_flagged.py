@@ -1,0 +1,19 @@
+"""P4 fixture: timer tags disagree between set_timer and on_timer.
+
+The node arms a ``retry`` timer but its handler only dispatches on
+``refresh`` — the retry never fires a handler and the refresh branch is
+dead.
+"""
+
+
+class RetryNode:
+    def __init__(self, ctx):
+        self.ctx = ctx
+        self.refreshed = 0
+
+    def on_start(self):
+        self.ctx.set_timer(5.0, "retry")
+
+    def on_timer(self, tag):
+        if tag == "refresh":
+            self.refreshed += 1

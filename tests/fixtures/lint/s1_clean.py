@@ -1,0 +1,13 @@
+"""S1 clean twin: only picklable values cross the Process boundary."""
+
+import multiprocessing as mp
+
+
+def _run(conn, name, limit):
+    conn.send((name, limit))
+
+
+def serve(conn):
+    proc = mp.Process(target=_run, args=(conn, "w0", 16))
+    proc.start()
+    return proc

@@ -1,0 +1,20 @@
+"""S1 fixture: unpicklable state handed across the Process boundary.
+
+A thread lock and a lambda both die in pickle under the spawn start
+method; S1 flags them at the ``Process(...)`` construction site.
+"""
+
+import multiprocessing as mp
+import threading
+
+
+def _run(conn, lock, hook):
+    with lock:
+        conn.send(hook())
+
+
+def serve(conn):
+    lock = threading.Lock()
+    proc = mp.Process(target=_run, args=(conn, lock, lambda: "ready"))
+    proc.start()
+    return proc

@@ -1,0 +1,15 @@
+"""S2 clean twin: workers only read the shared position array."""
+
+import multiprocessing as mp
+
+
+def _worker(conn, shared):
+    rows = shared.array
+    total = float(rows[0, 0]) + float(shared.array[1, 1])
+    conn.send(total)
+
+
+def serve(conn, shared):
+    proc = mp.Process(target=_worker, args=(conn, shared))
+    proc.start()
+    return proc

@@ -1,0 +1,21 @@
+"""S2 fixture: a worker writing through the shared position array.
+
+The parent owns the shared block; ``_worker`` runs on the far side of
+the spawn boundary and both stores below corrupt state every process
+reads.
+"""
+
+import multiprocessing as mp
+
+
+def _worker(conn, shared):
+    shared.array[0, 0] = 1.5
+    rows = shared.array
+    rows[1] = 0.0
+    conn.send("done")
+
+
+def serve(conn, shared):
+    proc = mp.Process(target=_worker, args=(conn, shared))
+    proc.start()
+    return proc

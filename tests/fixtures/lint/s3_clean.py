@@ -1,0 +1,23 @@
+"""S3 clean twin: workers keep their scratch state local."""
+
+import multiprocessing as mp
+
+CACHE = {}
+
+
+def remember(key, value):
+    # Parent-side use of the module cache is fine; only worker-side
+    # mutation is a spawn hazard.
+    CACHE[key] = value
+
+
+def _worker(conn, key):
+    scratch = {}
+    scratch[key] = key * 2
+    conn.send(scratch[key])
+
+
+def serve(conn):
+    proc = mp.Process(target=_worker, args=(conn, 3))
+    proc.start()
+    return proc

@@ -1,0 +1,22 @@
+"""S3 fixture: module-level mutable state touched from a worker.
+
+Under spawn every worker gets a private copy of ``CACHE``, so the
+writes below never reach the parent — they only look like they do.
+"""
+
+import multiprocessing as mp
+
+CACHE = {}
+SEEN = []
+
+
+def _worker(conn, key):
+    CACHE[key] = key * 2
+    SEEN.append(key)
+    conn.send(CACHE[key])
+
+
+def serve(conn):
+    proc = mp.Process(target=_worker, args=(conn, 3))
+    proc.start()
+    return proc

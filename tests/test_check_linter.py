@@ -32,7 +32,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 FIXTURE_DIR = os.path.join("tests", "fixtures", "lint")
 GOLDEN_REPORT = os.path.join(REPO_ROOT, "tests", "golden", "check_report.json")
 
-RULE_CODES = ("D1", "D2", "D3", "D4", "D5")
+RULE_CODES = (
+    "D1", "D2", "D3", "D4", "D5",
+    "P1", "P2", "P3", "P4",
+    "S1", "S2", "S3",
+    "O1", "O2", "O3",
+)
 
 
 def lint_fixture(name, codes=()):

@@ -59,6 +59,37 @@ class TestPaperProtocolsAreClean:
             check_protocols(graph, ("gossip",))
 
 
+class TestShardedStitchIsOrderIndependent:
+    def test_active_perturbation_seed_accessor(self):
+        from repro.sim.engine import active_perturbation_seed
+
+        assert active_perturbation_seed() is None
+        with perturbed_schedule(5):
+            assert active_perturbation_seed() == 5
+        assert active_perturbation_seed() is None
+
+    def test_perturbed_stitch_stays_bit_identical_to_centralized(self):
+        # A seeded perturbation shuffles the stitcher's within-round
+        # frontier-exchange order; the fingerprint must not move and
+        # must keep matching the centralized oracle exactly.
+        from repro.check.races import sharded_wcds_fingerprint
+
+        graph = connected_random_udg(60, 5.5, seed=3)
+        runner = sharded_wcds_fingerprint(graph)
+        baseline = dict(runner())
+        assert baseline["matches_centralized"] is True
+        for seed in (1, 2, 9):
+            with perturbed_schedule(seed):
+                assert dict(runner()) == baseline
+
+    def test_wcds_sharded_is_in_the_default_sweep(self):
+        from repro.check.races import check_protocols as cp
+        import inspect
+
+        defaults = inspect.signature(cp).parameters["protocols"].default
+        assert "wcds-sharded" in defaults
+
+
 class TestDetectorMechanics:
     def test_needs_at_least_one_perturbation(self):
         with pytest.raises(ValueError):
