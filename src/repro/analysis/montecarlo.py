@@ -8,52 +8,81 @@ seed range with ``multiprocessing`` and aggregates like ``run_trials``.
 The trial callable must be picklable (a module-level function, not a
 lambda or closure) — the classic multiprocessing constraint; a helpful
 error explains it if violated.
+
+Topology-bound sweeps should pass ``graph=``: the call is then routed
+through :class:`repro.sim.fleet.FleetRunner`, which ships the topology
+to the workers once via shared memory (a ``Pool.map`` would pickle the
+whole graph into every task) and calls ``trial(graph, seed)``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
-from typing import Callable, Dict, Iterable, List, Mapping, Optional
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional
 
 from repro.analysis.sweep import Aggregate
 
 
 def monte_carlo(
-    trial: Callable[[int], Mapping[str, float]],
+    trial: Callable[..., Mapping[str, float]],
     seeds: Iterable[int],
     *,
     processes: Optional[int] = None,
+    graph: Any = None,
+    registry: Any = None,
 ) -> Dict[str, Aggregate]:
     """Run ``trial(seed)`` across seeds, in parallel when possible.
 
     ``processes=None`` uses the CPU count; ``processes=1`` (or a
     single seed) falls back to a serial loop with no process overhead.
+
+    With ``graph=`` the sweep runs on the fleet runner instead: the
+    trial signature becomes ``trial(graph, seed)``, positions are
+    shared read-only across spawn workers, and ``processes`` sizes the
+    fleet (``0`` = inline).  Aggregation is identical either way.
     """
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("no seeds given")
+    if graph is not None:
+        from repro.sim.fleet import run_fleet
+
+        if len(seed_list) > 1 and (processes is None or processes > 0):
+            _require_picklable(trial)
+        rows = run_fleet(
+            graph, trial, seed_list, workers=processes, registry=registry
+        )
+        return _aggregate(rows)
     if processes is None:
         processes = min(multiprocessing.cpu_count(), len(seed_list))
     if len(seed_list) > 1:
         # Checked even on the serial path: a sweep must not pass on a
         # small machine (processes=1) and fail on a bigger one where
         # the same call fans out to workers.
-        try:
-            pickle.dumps(trial)
-        except Exception as failure:
-            raise TypeError(
-                "monte_carlo trials run in worker processes, so the "
-                "trial must be a picklable top-level function "
-                f"(got {trial!r}: {failure})"
-            ) from failure
+        _require_picklable(trial)
     if processes <= 1 or len(seed_list) == 1:
-        results = [trial(seed) for seed in seed_list]
+        results: List[Mapping[str, float]] = [trial(seed) for seed in seed_list]
     else:
         with multiprocessing.Pool(processes) as pool:
             results = pool.map(trial, seed_list)
+    return _aggregate(results)
+
+
+def _require_picklable(trial: Callable[..., Mapping[str, float]]) -> None:
+    try:
+        pickle.dumps(trial)
+    except Exception as failure:
+        raise TypeError(
+            "monte_carlo trials run in worker processes, so the "
+            "trial must be a picklable top-level function "
+            f"(got {trial!r}: {failure})"
+        ) from failure
+
+
+def _aggregate(rows: Iterable[Mapping[str, float]]) -> Dict[str, Aggregate]:
     samples: Dict[str, List[float]] = {}
-    for row in results:
+    for row in rows:
         for key, value in row.items():
             samples.setdefault(key, []).append(float(value))
     return {key: Aggregate.of(values) for key, values in samples.items()}

@@ -29,7 +29,7 @@ from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 from repro.graphs.graph import Graph
 from repro.graphs.traversal import is_connected
 from repro.sim.config import SimConfig, merge_entry_args
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -157,7 +157,7 @@ def wu_li_distributed(
         raise ValueError("CDS of an empty graph is undefined")
     if not is_connected(graph):
         raise ValueError("Wu-Li marking requires a connected graph")
-    simulator = Simulator(graph, WuLiNode, config, registry=registry)
+    simulator = make_simulator(graph, WuLiNode, config, registry=registry)
     stats = simulator.run()
     results = simulator.collect_results()
     undecided = [n for n, res in results.items() if res["in_cds"] is None]

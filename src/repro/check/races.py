@@ -251,17 +251,53 @@ def sharded_wcds_fingerprint(graph: Graph) -> Runner:
     return run
 
 
+def batched_engine_fingerprint(graph: Graph) -> Runner:
+    """Algorithm II on the batched engine, diffed against the oracle.
+
+    The batched simulator's contract is *bit-identical* outcomes: under
+    any perturbation seed both engines draw the same tie-break stream,
+    so every run-level quantity — including the message statistics the
+    other fingerprints deliberately omit — must agree *between the
+    engines on the same schedule*.  The fingerprint therefore carries
+    the engine-vs-engine verdict (plus the schedule-independent MIS),
+    not the raw counts, which legitimately move with the schedule.
+    """
+    from repro.sim.config import SimConfig
+    from repro.wcds.algorithm2 import algorithm2_distributed
+
+    def run() -> Fingerprint:
+        batched = algorithm2_distributed(graph, sim=SimConfig(engine="batched"))
+        oracle = algorithm2_distributed(graph, sim=SimConfig(engine="event"))
+        batched_stats = batched.meta["stats"]
+        oracle_stats = oracle.meta["stats"]
+        return {
+            "mis": tuple(sorted(batched.mis_dominators, key=repr)),
+            "matches_oracle": bool(
+                batched.mis_dominators == oracle.mis_dominators
+                and batched.dominators == oracle.dominators
+                and batched_stats.messages_sent == oracle_stats.messages_sent
+                and batched_stats.deliveries == oracle_stats.deliveries
+                and batched_stats.finish_time == oracle_stats.finish_time
+            ),
+        }
+
+    return run
+
+
 PROTOCOL_CHECKS: Dict[str, Callable[[Graph], Runner]] = {
     "algorithm1": algorithm1_fingerprint,
     "algorithm2": algorithm2_fingerprint,
     "mis": distributed_mis_fingerprint,
     "wcds-sharded": sharded_wcds_fingerprint,
+    "engine-batched": batched_engine_fingerprint,
 }
 
 
 def check_protocols(
     graph: Graph,
-    protocols: Tuple[str, ...] = ("algorithm1", "algorithm2", "wcds-sharded"),
+    protocols: Tuple[str, ...] = (
+        "algorithm1", "algorithm2", "wcds-sharded", "engine-batched",
+    ),
     *,
     perturbations: int = 5,
     base_seed: int = 0,

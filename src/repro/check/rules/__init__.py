@@ -2,8 +2,8 @@
 
 Each rule is registered under its code (``D1``..``D5`` determinism,
 ``P1``..``P4`` protocol flow, ``S1``..``S3`` spawn/shared-memory
-safety, ``O1``..``O3`` telemetry hygiene); the engine and CLI look
-rules up here.  Adding a rule means writing a
+safety, ``O1``..``O3`` telemetry hygiene, ``H1`` import hygiene); the
+engine and CLI look rules up here.  Adding a rule means writing a
 :class:`~repro.check.rules.base.Rule` subclass and listing it in
 ``ALL_RULES``.
 """
@@ -18,6 +18,7 @@ from repro.check.rules.d2_clock_rng import ClockAndRngRule
 from repro.check.rules.d3_float_equality import FloatEqualityRule
 from repro.check.rules.d4_cross_node_mutation import CrossNodeMutationRule
 from repro.check.rules.d5_constant_provenance import ConstantProvenanceRule
+from repro.check.rules.h_imports import LocalStdlibImportRule
 from repro.check.rules.o_telemetry import (
     BareSpanRule,
     MetricFamilyConsistencyRule,
@@ -51,6 +52,7 @@ ALL_RULES: Tuple[type, ...] = (
     MetricFamilyConsistencyRule,
     UnboundedLabelRule,
     BareSpanRule,
+    LocalStdlibImportRule,
 )
 
 

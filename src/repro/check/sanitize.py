@@ -102,32 +102,44 @@ def sanitized(
     Not reentrant; yields the recorder (pass one in to accumulate
     across several blocks, e.g. a whole pytest session).
     """
+    from repro.sim.batched import BatchedSimulator
     from repro.sim.engine import Simulator
 
     alphabet = recorder if recorder is not None else RuntimeAlphabet()
     previous = os.environ.get(ENV_FLAG)
     os.environ[ENV_FLAG] = "1"
     original_init = Simulator.__init__
-    original_transmit = Simulator.transmit
+    # Both engines define their own ``transmit``; patching only the base
+    # class would let batched runs bypass the send recorder.  ``__init__``
+    # needs no batched patch: ``super().__init__`` resolves to the
+    # patched base method dynamically, so nodes get wrapped either way.
+    original_transmits = [
+        (cls, cls.__dict__["transmit"]) for cls in (Simulator, BatchedSimulator)
+    ]
 
     def patched_init(self, *args, **kwargs):  # type: ignore[no-untyped-def]
         original_init(self, *args, **kwargs)
         for node in self.nodes.values():
             _wrap_node(node, alphabet)
 
-    def patched_transmit(self, message):  # type: ignore[no-untyped-def]
-        node = self.nodes.get(message.sender)
-        if node is not None:
-            alphabet.record_send(node, message.kind)
-        return original_transmit(self, message)
+    def _make_patched_transmit(original):  # type: ignore[no-untyped-def]
+        def patched_transmit(self, message):  # type: ignore[no-untyped-def]
+            node = self.nodes.get(message.sender)
+            if node is not None:
+                alphabet.record_send(node, message.kind)
+            return original(self, message)
+
+        return patched_transmit
 
     Simulator.__init__ = patched_init  # type: ignore[method-assign]
-    Simulator.transmit = patched_transmit  # type: ignore[method-assign]
+    for cls, original in original_transmits:
+        cls.transmit = _make_patched_transmit(original)  # type: ignore[method-assign]
     try:
         yield alphabet
     finally:
         Simulator.__init__ = original_init  # type: ignore[method-assign]
-        Simulator.transmit = original_transmit  # type: ignore[method-assign]
+        for cls, original in original_transmits:
+            cls.transmit = original  # type: ignore[method-assign]
         if previous is None:
             os.environ.pop(ENV_FLAG, None)
         else:

@@ -89,18 +89,30 @@ def _add_sim_args(parser: argparse.ArgumentParser) -> None:
         "--fault-plan", metavar="FILE",
         help="JSON fault plan (see repro.faults.FaultPlan.to_json)",
     )
+    _add_engine_arg(parser)
+
+
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=["event", "batched", "auto"], default="auto",
+        help="simulator core: the event-driven oracle, the batched "
+        "numpy engine (repro.sim.batched, bit-identical results), or "
+        "auto (batched when numpy is available and the network is big "
+        "enough)",
+    )
 
 
 def _sim_config(args):
-    """A SimConfig from --loss/--transport/--fault-plan, or None when
-    none of them was given (keeps the fault-free fast path)."""
+    """A SimConfig from --loss/--transport/--fault-plan/--engine, or
+    None when none of them was given (keeps the fault-free fast path)."""
     from repro.faults import FaultPlan
     from repro.sim.config import SimConfig
 
     loss = getattr(args, "loss", 0.0)
     transport = getattr(args, "transport", False)
     plan_file = getattr(args, "fault_plan", None)
-    if not loss and not transport and not plan_file:
+    engine = getattr(args, "engine", "auto")
+    if not loss and not transport and not plan_file and engine == "auto":
         return None
     plan = FaultPlan()
     if plan_file:
@@ -111,6 +123,7 @@ def _sim_config(args):
         seed=getattr(args, "seed", None),
         fault_plan=plan,
         transport=bool(transport),
+        engine=engine,
     )
 
 
@@ -962,7 +975,9 @@ def cmd_chaos(args) -> int:
         )
         for algorithm in algorithms:
             report = run_chaos(
-                algorithm, graph, plan, seed=seed, max_epochs=args.max_epochs
+                algorithm, graph, plan, seed=seed,
+                engine=getattr(args, "engine", "auto"),
+                max_epochs=args.max_epochs,
             )
             reports.append(report)
             failed = failed or not report.valid
@@ -987,6 +1002,49 @@ def cmd_chaos(args) -> int:
             for note in report.notes:
                 print(f"  note [{report.algorithm} seed={report.seed}]: {note}")
     return 1 if failed else 0
+
+
+def cmd_montecarlo(args) -> int:
+    import json
+
+    from repro.analysis.montecarlo import monte_carlo
+    from repro.sim.fleet import BackboneTrial
+
+    if args.trials < 1:
+        print("error: --trials must be at least 1", file=sys.stderr)
+        return 2
+    graph = _build(args)
+    trial = BackboneTrial(
+        algorithm=_algorithm_name(args.algorithm),
+        engine=args.engine,
+        jitter=args.jitter,
+        transport=True if args.transport else None,
+    )
+    seeds = range(args.first_seed, args.first_seed + args.trials)
+    aggregates = monte_carlo(
+        trial, seeds, processes=args.workers, graph=graph
+    )
+    if args.format == "json":
+        print(json.dumps(
+            {key: vars(agg) for key, agg in aggregates.items()}, indent=2
+        ))
+        return 0
+    print_table(
+        [
+            {
+                "metric": key,
+                "mean": round(agg.mean, 3),
+                "std": round(agg.std, 3),
+                "min": agg.minimum,
+                "max": agg.maximum,
+                "trials": agg.count,
+            }
+            for key, agg in sorted(aggregates.items())
+        ],
+        title=f"Monte-Carlo sweep ({_algorithm_label(args.algorithm)}, "
+        f"n={graph.num_nodes}, engine={args.engine})",
+    )
+    return 0
 
 
 def cmd_check(args) -> int:
@@ -1283,7 +1341,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="CI smoke: 40 nodes, two seeds, loss 0.15, one crash")
     p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_engine_arg(p)
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "montecarlo",
+        help="sweep a backbone algorithm over many protocol seeds on "
+        "one topology via the fleet runner and print the aggregates",
+    )
+    _add_topology_args(p)
+    p.add_argument(
+        "--algorithm", default="2", type=_algorithm_arg,
+        help="1, 2, or any registered backbone algorithm name",
+    )
+    p.add_argument("--trials", type=int, default=32,
+                   help="number of protocol seeds to sweep")
+    p.add_argument("--first-seed", type=int, default=0,
+                   help="first protocol seed (trials run seeds "
+                   "first-seed .. first-seed+trials-1)")
+    p.add_argument("--jitter", action="store_true",
+                   help="draw per-seed jittered latencies instead of the "
+                   "fixed unit delay (perturbs schedules, not results)")
+    p.add_argument("--transport", action="store_true",
+                   help="run over the reliable ack/retransmit transport")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fleet worker processes (0 = inline, default: "
+                   "cpu count - 1 capped at 8)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_engine_arg(p)
+    p.set_defaults(func=cmd_montecarlo)
 
     p = sub.add_parser(
         "check",

@@ -18,7 +18,7 @@ from typing import Any, Callable, Dict, FrozenSet, Hashable, Optional, Tuple
 from repro.graphs.graph import Graph
 from repro.election.protocol import ElectionResult, elect_leader
 from repro.sim.config import SimConfig, coerce_sim_config
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -97,7 +97,7 @@ def converge_cast(
         raise ValueError("values must cover every node exactly")
     if election is None:
         election = elect_leader(graph, sim=config)
-    simulator = Simulator(
+    simulator = make_simulator(
         graph,
         lambda ctx: ConvergecastNode(
             ctx,

@@ -29,7 +29,7 @@ from typing import Any
 from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import is_connected
 from repro.sim.config import SimConfig, coerce_sim_config
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -175,7 +175,7 @@ def elect_leader(
         raise ValueError("cannot elect a leader of an empty graph")
     if not is_connected(graph):
         raise ValueError("leader election requires a connected graph")
-    simulator = Simulator(graph, ElectionNode, config, registry=registry)
+    simulator = make_simulator(graph, ElectionNode, config, registry=registry)
     stats = simulator.run()
     results = simulator.collect_results()
     crashed = simulator.crashed

@@ -145,6 +145,7 @@ def run_chaos(
     loss_rate: float = 0.0,
     seed: Optional[int] = None,
     transport: Any = True,
+    engine: str = "auto",
     tracer=None,
     registry=None,
     max_epochs: int = 3,
@@ -188,6 +189,7 @@ def run_chaos(
             seed=epoch_seed,
             fault_plan=current_plan,
             transport=transport,
+            engine=engine,
         )
         before = _message_totals(registry)
         result = None
@@ -225,6 +227,39 @@ def run_chaos(
         current_graph = surviving_graph
         current_plan = FaultPlan()
     return report
+
+
+def run_chaos_matrix(
+    graph: Graph,
+    seeds: Any,
+    *,
+    algorithm: str = "algorithm2",
+    loss: float = 0.0,
+    crashes: int = 2,
+    partition: bool = True,
+    engine: str = "auto",
+    workers: Optional[int] = None,
+    registry=None,
+) -> List[Dict[str, float]]:
+    """Sweep the chaos cell over many seeds via the fleet runner.
+
+    Each seed regenerates the fault plan (victims, partition ball, loss
+    burst), so the sweep explores plan space on one fixed topology; the
+    topology crosses the process boundary once, through shared memory.
+    Returns one summary row per seed, in seed order — identical whether
+    the sweep ran inline (``workers=0``) or across spawn workers.
+    """
+    from repro.sim.fleet import ChaosTrial, run_fleet
+
+    trial = ChaosTrial(
+        algorithm=algorithm,
+        loss=loss,
+        crashes=crashes,
+        partition=partition,
+        engine=engine,
+    )
+    rows = run_fleet(graph, trial, list(seeds), workers=workers, registry=registry)
+    return [dict(row) for row in rows]
 
 
 def _message_totals(registry) -> Dict[str, int]:

@@ -41,6 +41,7 @@ class Graph:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: Dict[Node, Set[Node]] = {}
+        self._version: int = 0
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -52,6 +53,7 @@ class Graph:
     def add_node(self, node: Node) -> None:
         """Add ``node`` if not already present."""
         self._adj.setdefault(node, set())
+        self._version += 1
 
     def add_edge(self, u: Node, v: Node) -> None:
         """Add the undirected edge ``{u, v}``, adding endpoints as needed.
@@ -63,12 +65,14 @@ class Graph:
             raise ValueError(f"self-loop on node {u!r} is not allowed")
         self._adj.setdefault(u, set()).add(v)
         self._adj.setdefault(v, set()).add(u)
+        self._version += 1
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
         neighbors = self._adj.pop(node)
         for other in neighbors:
             self._adj[other].discard(node)
+        self._version += 1
 
     def remove_edge(self, u: Node, v: Node) -> None:
         """Remove the edge ``{u, v}``; raises ``KeyError`` if absent."""
@@ -76,6 +80,7 @@ class Graph:
             raise KeyError(f"no edge between {u!r} and {v!r}")
         self._adj[u].remove(v)
         self._adj[v].remove(u)
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Queries
@@ -93,6 +98,16 @@ class Graph:
     def num_nodes(self) -> int:
         """Number of nodes."""
         return len(self._adj)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter.
+
+        Bumped on every topology change; cheap to poll, so caches keyed
+        on adjacency (e.g. the batched simulator's audience tables) can
+        detect staleness without hashing the edge set.
+        """
+        return self._version
 
     @property
     def num_edges(self) -> int:

@@ -35,24 +35,28 @@ def graph_to_csr(graph: Graph) -> Tuple[List[Node], Any, Any]:
 
     ``node_list`` is in canonical order and defines the index space;
     ``heads``/``tails`` hold both directions of every edge, sorted by
-    head, ready for :func:`packed_hop_distances`.
+    ``(head, tail)``, ready for :func:`packed_hop_distances`.  Since
+    node indices follow canonical order, the tail run of each head
+    segment is itself in canonical order — the batched simulator reads
+    its broadcast audiences straight out of these arrays.
     """
     np = require_numpy()
     node_list = canonical_order(graph.nodes())
     index = {node: i for i, node in enumerate(node_list)}
-    m = graph.num_edges
-    heads = np.empty(2 * m, dtype=np.int64)
-    tails = np.empty(2 * m, dtype=np.int64)
-    pos = 0
+    # Build through Python lists: appending then converting once is
+    # several times faster than element-wise writes into numpy arrays.
+    heads_list: List[int] = []
+    tails_list: List[int] = []
     for u, v in graph.edges():
         iu = index[u]
         iv = index[v]
-        heads[pos] = iu
-        tails[pos] = iv
-        heads[pos + 1] = iv
-        tails[pos + 1] = iu
-        pos += 2
-    order = np.argsort(heads)
+        heads_list.append(iu)
+        tails_list.append(iv)
+        heads_list.append(iv)
+        tails_list.append(iu)
+    heads = np.array(heads_list, dtype=np.int64)
+    tails = np.array(tails_list, dtype=np.int64)
+    order = np.lexsort((tails, heads))
     return node_list, heads[order], tails[order]
 
 

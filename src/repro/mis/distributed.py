@@ -28,7 +28,7 @@ from typing import Any, Dict, Hashable, Mapping, Optional, Set, Tuple
 from repro.graphs.graph import Graph
 from repro.mis.ranking import Rank, id_ranking, validate_ranking
 from repro.sim.config import SimConfig, merge_entry_args
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -154,7 +154,7 @@ def run_mis(
         ranking = id_ranking(graph)
     if not config.faulty:
         validate_ranking(graph, ranking)
-    simulator = Simulator(
+    simulator = make_simulator(
         graph, lambda ctx: MisNode(ctx, ranking), config,
         tracer=tracer, registry=registry,
     )

@@ -29,7 +29,7 @@ from typing import Dict, Hashable, Optional, Tuple
 
 from repro.graphs.graph import Graph
 from repro.sim.config import SimConfig
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.latency import LatencyModel
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
@@ -153,7 +153,7 @@ class MaintenanceSimulation:
         initial = greedy_mis(graph)
         self.graph = graph
         self.period = period
-        self.sim = Simulator(
+        self.sim = make_simulator(
             graph,
             lambda ctx: MisMaintenanceNode(
                 ctx,

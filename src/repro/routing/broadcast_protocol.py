@@ -24,7 +24,7 @@ from typing import Dict, FrozenSet, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph
 from repro.sim.config import SimConfig, coerce_sim_config
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -106,7 +106,7 @@ def _run(
     forwarders: Optional[FrozenSet[Hashable]],
     config: SimConfig,
 ) -> Tuple[ProtocolBroadcastOutcome, SimStats]:
-    simulator = Simulator(
+    simulator = make_simulator(
         graph,
         lambda ctx: BroadcastNode(ctx, source, forwarders),
         config,

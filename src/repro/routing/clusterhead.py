@@ -16,6 +16,8 @@ routing benchmark).
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Tuple
@@ -126,9 +128,6 @@ class ClusterheadRouter:
     def _dijkstra_next_hops(
         overlay: Dict[Hashable, Dict[Hashable, int]], source: Hashable
     ) -> Dict[Hashable, Hashable]:
-        import heapq
-        import itertools
-
         dist: Dict[Hashable, int] = {}
         first_hop: Dict[Hashable, Hashable] = {}
         counter = itertools.count()

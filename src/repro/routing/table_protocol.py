@@ -26,7 +26,7 @@ import itertools
 from typing import Dict, Hashable, Optional, Set, Tuple
 
 from repro.graphs.graph import Graph, canonical_order
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.config import SimConfig, coerce_sim_config
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
@@ -154,7 +154,7 @@ def build_routing_tables(
         links.extend((w, 3) for w in state["three_hop_dom"])
         return tuple(sorted(links, key=repr))
 
-    simulator = Simulator(
+    simulator = make_simulator(
         graph,
         lambda ctx: LinkStateNode(
             ctx,

@@ -27,6 +27,7 @@ repair, rebuild, stale serve, and rejection is counted
 from __future__ import annotations
 
 import time
+from collections import deque
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.graphs.udg import UnitDiskGraph
@@ -581,8 +582,6 @@ def _broadcast_plan(snapshot: _Snapshot, source: Hashable) -> Dict[str, object]:
     (source, dominators, and on-demand gray gateways retransmit), but
     returning the actual transmission order instead of only counts.
     """
-    from collections import deque
-
     from repro.graphs.graph import canonical_order
     from repro.wcds.base import weakly_induced_subgraph
 

@@ -25,7 +25,9 @@ reading a node whose backbone membership flipped.
 
 from __future__ import annotations
 
+import multiprocessing
 from collections import deque
+from multiprocessing import shared_memory
 from typing import (
     Any,
     Dict,
@@ -70,8 +72,6 @@ class SharedPositions:
 
     def __init__(self, name: Optional[str], count: int, *, _create: bool = False):
         np = require_numpy()
-        from multiprocessing import shared_memory
-
         nbytes = max(count * 16, 16)
         if _create:
             self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -506,8 +506,6 @@ class ShardServePool:
     # Worker management
     # ------------------------------------------------------------------
     def _start_workers(self) -> None:
-        import multiprocessing
-
         require_numpy()
         ctx = multiprocessing.get_context("spawn")
         self._nodes = canonical_order(self.graph.positions)

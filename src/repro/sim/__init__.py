@@ -1,5 +1,6 @@
 """Discrete-event message-passing simulator for distributed protocols."""
 
+from repro.sim.batched import BatchedSimulator, make_simulator, resolve_engine
 from repro.sim.config import SimConfig
 from repro.sim.engine import Simulator, run_protocol
 from repro.sim.latency import FixedLatency, UniformLatency
@@ -11,9 +12,12 @@ from repro.sim.trace import TraceEvent, TraceRecorder
 __all__ = [
     "TraceEvent",
     "TraceRecorder",
+    "BatchedSimulator",
     "SimConfig",
     "Simulator",
     "run_protocol",
+    "make_simulator",
+    "resolve_engine",
     "FixedLatency",
     "UniformLatency",
     "Message",

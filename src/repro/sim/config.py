@@ -39,6 +39,12 @@ class SimConfig:
             reliable transport (ack/retransmit, duplicate suppression,
             liveness heartbeats).  ``True`` selects the default
             :class:`~repro.transport.config.TransportConfig`.
+        engine: which simulator core executes the run — ``"event"``
+            (the reference heap-based oracle), ``"batched"`` (the
+            numpy-backed bucket engine, bit-identical but faster on
+            broadcast-heavy workloads), or ``"auto"`` (batched iff
+            numpy is importable and the graph has ≥ 64 nodes,
+            mirroring the kernels' ``resolve_method``).
     """
 
     latency: Optional[LatencyModel] = None
@@ -47,8 +53,14 @@ class SimConfig:
     max_events: int = 10_000_000
     fault_plan: FaultPlan = field(default_factory=FaultPlan)
     transport: Any = None
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("event", "batched", "auto"):
+            raise ValueError(
+                f"unknown engine {self.engine!r} "
+                "(expected 'event', 'batched', or 'auto')"
+            )
         if not 0.0 <= self.loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
         if self.max_events <= 0:
@@ -120,6 +132,7 @@ def coerce_sim_config(
         max_events=fields["max_events"],
         fault_plan=config.fault_plan,
         transport=config.transport,
+        engine=config.engine,
     )
 
 

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, FrozenSet, Hashable, Iterable, Iterator,
 
 from repro.graphs.graph import Graph, canonical_order
 from repro.obs.flightrec import flight_record
-from repro.sim.config import SimConfig, coerce_sim_config
+from repro.sim.config import SimConfig
 from repro.sim.latency import FixedLatency
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
@@ -95,9 +95,8 @@ class Simulator:
         *,
         tracer=None,
         registry=None,
-        **legacy: Any,
     ) -> None:
-        config = coerce_sim_config(config, legacy, "Simulator")
+        config = config if config is not None else SimConfig()
         self.config = config
         self.graph = graph
         self.tracer = tracer
@@ -379,11 +378,16 @@ def run_protocol(
     *,
     tracer=None,
     registry=None,
-    **legacy: Any,
 ) -> Tuple[Dict[Hashable, Dict[str, Any]], SimStats]:
     """Convenience: build a simulator, run to quiescence, return
-    ``(per-node results, stats)``."""
-    config = coerce_sim_config(config, legacy, "run_protocol")
-    sim = Simulator(graph, node_factory, config, tracer=tracer, registry=registry)
+    ``(per-node results, stats)``.
+
+    The simulator class is chosen by ``config.engine`` (see
+    :func:`repro.sim.batched.resolve_engine`); both engines produce
+    bit-identical stats and traces.
+    """
+    from repro.sim.batched import make_simulator
+
+    sim = make_simulator(graph, node_factory, config, tracer=tracer, registry=registry)
     stats = sim.run()
     return sim.collect_results(), stats

@@ -57,6 +57,15 @@ class SimStats:
         """Account one successful per-receiver delivery."""
         self.deliveries += 1
 
+    def record_delivery_batch(self, count: int) -> None:
+        """Account ``count`` successful deliveries in one step.
+
+        The batched engine tallies a whole fan-out (or a whole run's
+        accumulated deliveries) at once instead of ``count`` separate
+        increments; the resulting totals are identical.
+        """
+        self.deliveries += count
+
     def record_drop(self) -> None:
         """Account one lost per-receiver delivery."""
         self.dropped += 1

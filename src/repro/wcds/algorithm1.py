@@ -39,7 +39,7 @@ from repro.election.protocol import ElectionResult, elect_leader
 from repro.obs.cost import annotate_phase as _annotate_phase
 from repro.obs.tracing import get_tracer
 from repro.sim.config import SimConfig, merge_entry_args
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext, ProtocolNode
 from repro.sim.stats import SimStats
@@ -157,7 +157,7 @@ def _run_level_phase(
     from repro.sim.config import coerce_sim_config
 
     config = coerce_sim_config(config, legacy, "_run_level_phase")
-    sim = Simulator(
+    sim = make_simulator(
         graph,
         lambda ctx: LevelCalculationNode(
             ctx,
@@ -240,7 +240,7 @@ def algorithm1_distributed(
                 ranking = {n: (levels[n], n) for n in levels}
             else:
                 ranking = level_ranking(graph, levels)
-            marking_sim = Simulator(
+            marking_sim = make_simulator(
                 graph, lambda ctx: MisNode(ctx, ranking),
                 config.with_plan(plan.advanced(elapsed)),
                 registry=registry,

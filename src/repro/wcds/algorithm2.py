@@ -48,7 +48,7 @@ from repro.mis.distributed import MisNode
 from repro.mis.ranking import id_ranking
 from repro.obs.tracing import get_tracer
 from repro.sim.config import SimConfig, merge_entry_args
-from repro.sim.engine import Simulator
+from repro.sim.batched import make_simulator
 from repro.sim.messages import Message
 from repro.sim.node import NodeContext
 from repro.sim.stats import SimStats
@@ -302,7 +302,7 @@ def algorithm2_distributed(
         tracer = get_tracer()
     with tracer.span("algorithm2", n=graph.num_nodes) as run_span:
         ranking = id_ranking(graph)
-        simulator = Simulator(
+        simulator = make_simulator(
             graph, lambda ctx: Algorithm2Node(ctx, ranking), config,
             registry=registry,
         )

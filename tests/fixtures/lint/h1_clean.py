@@ -1,0 +1,24 @@
+"""H1 clean twin: stdlib at the header; lazy imports only for the
+cycle-breaking internal and gated third-party cases H1 tolerates."""
+
+import heapq
+from collections import deque
+
+
+def shortest(overlay, source):
+    queue = deque([source])
+    heap = [(0, source)]
+    heapq.heappush(heap, (1, queue.popleft()))
+    return heap
+
+
+def stats(values):
+    from repro.analysis.sweep import Aggregate  # internal: cycle-breaking
+
+    return Aggregate.of(values)
+
+
+def mean_vector(values):
+    import numpy  # gated third-party dependency
+
+    return numpy.asarray(values).mean()

@@ -1,0 +1,16 @@
+"""H1 fixture: stdlib imports buried inside function bodies.
+
+Neither lazy-import justification applies to the stdlib — there is no
+``repro.*`` cycle to break and no optional dependency to gate — so H1
+flags both forms at the import statement.
+"""
+
+
+def shortest(overlay, source):
+    import heapq
+    from collections import deque
+
+    queue = deque([source])
+    heap = [(0, source)]
+    heapq.heappush(heap, (1, queue.popleft()))
+    return heap

@@ -143,7 +143,9 @@ class TestDeprecationShims:
     """Every old signature works, warns once, and agrees with the new
     entry point."""
 
-    def test_simulator_legacy_kwargs(self):
+    def test_simulator_legacy_kwargs_removed(self):
+        # The Simulator shim was removed after a deprecation cycle: the
+        # loose kwargs now fail fast instead of warning.
         from repro.sim import Simulator
         from repro.sim.node import ProtocolNode
 
@@ -151,12 +153,10 @@ class TestDeprecationShims:
             pass
 
         g = line_udg(3)
-        sim = _exactly_one_deprecation(
-            lambda: Simulator(g, Quiet, latency=UniformLatency(seed=1), seed=2)
-        )
-        assert sim.config.seed == 2
+        with pytest.raises(TypeError):
+            Simulator(g, Quiet, latency=UniformLatency(seed=1), seed=2)
 
-    def test_run_protocol_legacy_kwargs(self):
+    def test_run_protocol_legacy_kwargs_removed(self):
         from repro.sim import run_protocol
         from repro.sim.node import ProtocolNode
 
@@ -164,9 +164,8 @@ class TestDeprecationShims:
             pass
 
         g = line_udg(3)
-        _exactly_one_deprecation(
-            lambda: run_protocol(g, Quiet, loss_rate=0.0, seed=1)
-        )
+        with pytest.raises(TypeError):
+            run_protocol(g, Quiet, loss_rate=0.0, seed=1)
 
     def test_elect_leader_latency(self, graph):
         from repro.election import elect_leader

@@ -37,6 +37,7 @@ RULE_CODES = (
     "P1", "P2", "P3", "P4",
     "S1", "S2", "S3",
     "O1", "O2", "O3",
+    "H1",
 )
 
 

@@ -35,6 +35,8 @@ SUBPACKAGES = [
     "repro.graphs",
     "repro.kernels",
     "repro.sim",
+    "repro.sim.batched",
+    "repro.sim.fleet",
     "repro.election",
     "repro.mis",
     "repro.wcds",

@@ -1,0 +1,251 @@
+"""The batched engine's exactness contract against the event oracle.
+
+``repro.sim.batched`` promises *bit-identical* runs — same SimStats,
+same final protocol states, same traces — while batching same-tick
+broadcast fan-out through the CSR audience tables.  These tests pin the
+contract across the regression matrix (Algorithms I/II × ambient loss ×
+a crash/partition plan × perturbed tie-breaks) and the engine-selection
+API around it.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults import default_fault_plan
+from repro.graphs import Graph, connected_random_udg
+from repro.mis import id_ranking
+from repro.mis.distributed import MisNode
+from repro.sim import (
+    BatchedSimulator,
+    ProtocolNode,
+    SimConfig,
+    Simulator,
+    TraceRecorder,
+    UniformLatency,
+    make_simulator,
+    resolve_engine,
+)
+from repro.sim.batched import AUTO_THRESHOLD
+from repro.sim.engine import perturbed_schedule
+from repro.wcds.algorithm1 import algorithm1_distributed
+from repro.wcds.algorithm2 import algorithm2_distributed
+
+GRAPH = connected_random_udg(26, 3.2, seed=4)
+PLAN = default_fault_plan(GRAPH, crashes=2, partition=True, seed=3)
+
+ALGORITHMS = {"algorithm1": algorithm1_distributed,
+              "algorithm2": algorithm2_distributed}
+
+
+def _stats_key(stats):
+    """Every SimStats counter, as one comparable snapshot."""
+    return {
+        f.name: getattr(stats, f.name) for f in dataclasses.fields(stats)
+    }
+
+
+def _outcome(algorithm, *, loss, plan, pert_seed, engine):
+    """Full run fingerprint (or the failure) under one matrix cell."""
+    config = SimConfig(
+        loss_rate=loss,
+        seed=17,
+        fault_plan=plan if plan is not None else default_fault_plan(
+            GRAPH, crashes=0, partition=False
+        ),
+        transport=True if (loss or plan is not None) else None,
+        max_events=300_000,
+        engine=engine,
+    )
+    run = ALGORITHMS[algorithm]
+    with perturbed_schedule(pert_seed, None):
+        try:
+            result = run(GRAPH, sim=config)
+        except RuntimeError as exc:
+            return {"error": str(exc)}
+    fingerprint = {
+        "dominators": tuple(sorted(result.dominators, key=repr)),
+        "mis": tuple(sorted(result.mis_dominators, key=repr)),
+    }
+    if "stats" in result.meta:  # Algorithm II: one run-wide SimStats
+        fingerprint["stats"] = _stats_key(result.meta["stats"])
+    else:  # Algorithm I: one SimStats per phase
+        fingerprint["stats"] = {
+            phase: _stats_key(stats)
+            for phase, stats in result.meta["phase_stats"].items()
+        }
+    for key in ("levels", "leader", "colors"):
+        if key in result.meta:
+            fingerprint[key] = repr(result.meta[key])
+    return fingerprint
+
+
+class TestOracleEquality:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        algorithm=st.sampled_from(("algorithm1", "algorithm2")),
+        loss=st.sampled_from((0.0, 0.3)),
+        crash=st.booleans(),
+        pert_seed=st.sampled_from((None, 1, 2, 3, 4, 5)),
+    )
+    def test_matrix_cell_matches_oracle(self, algorithm, loss, crash, pert_seed):
+        plan = PLAN if crash else None
+        batched = _outcome(
+            algorithm, loss=loss, plan=plan, pert_seed=pert_seed,
+            engine="batched",
+        )
+        oracle = _outcome(
+            algorithm, loss=loss, plan=plan, pert_seed=pert_seed,
+            engine="event",
+        )
+        assert batched == oracle
+
+    def test_traced_run_is_bit_identical(self):
+        ranking = id_ranking(GRAPH)
+        logs = []
+        for engine in ("batched", "event"):
+            tracer = TraceRecorder()
+            config = SimConfig(
+                loss_rate=0.2, seed=5, fault_plan=PLAN, transport=True,
+                engine=engine,
+            )
+            sim = make_simulator(
+                GRAPH, lambda ctx: MisNode(ctx, ranking), config,
+                tracer=tracer,
+            )
+            sim.run()
+            logs.append(
+                [(e.time, e.action, e.node, e.kind, e.sender)
+                 for e in tracer.events]
+            )
+        assert logs[0] == logs[1]
+
+    def test_jittered_latency_matches_oracle(self):
+        def fingerprint(engine):
+            config = SimConfig(
+                latency=UniformLatency(0.5, 1.5, seed=9), engine=engine
+            )
+            result = algorithm2_distributed(GRAPH, sim=config)
+            return (
+                tuple(sorted(result.dominators, key=repr)),
+                _stats_key(result.meta["stats"]),
+            )
+
+        assert fingerprint("batched") == fingerprint("event")
+
+    def test_deadline_stepping_matches_oracle(self):
+        ranking = id_ranking(GRAPH)
+
+        def stepped(engine):
+            sim = make_simulator(
+                GRAPH, lambda ctx: MisNode(ctx, ranking),
+                SimConfig(engine=engine),
+            )
+            snapshots = []
+            for until in (0.5, 1.0, 2.5, 4.0, None):
+                sim.run(until=until)
+                snapshots.append((sim.now, _stats_key(sim.stats)))
+            return snapshots
+
+        assert stepped("batched") == stepped("event")
+
+
+class TestEngineSelection:
+    def test_explicit_engines(self):
+        assert resolve_engine("event", size=10_000) == "event"
+        assert resolve_engine("batched", size=1) == "batched"
+
+    def test_auto_threshold(self):
+        pytest.importorskip("numpy")
+        assert resolve_engine("auto", size=AUTO_THRESHOLD) == "batched"
+        assert resolve_engine("auto", size=AUTO_THRESHOLD - 1) == "event"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_engine("warp", size=10)
+        with pytest.raises(ValueError, match="unknown engine"):
+            SimConfig(engine="warp")
+
+    def test_make_simulator_honors_config(self):
+        pytest.importorskip("numpy")
+        quiet = ProtocolNode
+        big = connected_random_udg(70, 5.0, seed=2)
+        assert isinstance(
+            make_simulator(big, quiet, SimConfig(engine="batched")),
+            BatchedSimulator,
+        )
+        event = make_simulator(big, quiet, SimConfig(engine="event"))
+        assert isinstance(event, Simulator)
+        assert not isinstance(event, BatchedSimulator)
+        assert isinstance(
+            make_simulator(big, quiet, SimConfig(engine="auto")),
+            BatchedSimulator,
+        )
+        small = Graph(edges=[(0, 1)])
+        assert not isinstance(
+            make_simulator(small, quiet, SimConfig(engine="auto")),
+            BatchedSimulator,
+        )
+
+
+class TestTopologyStaleness:
+    def test_graph_version_counts_mutations(self):
+        g = Graph(edges=[(0, 1)])
+        v = g.version
+        g.add_node(7)
+        g.add_edge(1, 7)
+        g.remove_edge(0, 1)
+        g.remove_node(7)
+        assert g.version == v + 4
+
+    def test_audience_refreshes_after_mutation(self):
+        heard = []
+
+        class Beacon(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.ctx.set_timer(1.0, "again")
+                    self.ctx.broadcast("PING")
+
+            def on_timer(self, tag):
+                self.ctx.broadcast("PING")
+
+            def on_message(self, msg):
+                heard.append((self.ctx.now, self.node_id))
+
+        from repro.sim.node import NodeContext
+
+        g = Graph(edges=[(0, 1)])
+        sim = BatchedSimulator(g, lambda ctx: Beacon(ctx))
+        # First broadcast (t=0) is cached against the 2-node topology.
+        sim.run(until=0.5)
+        g.add_node(2)
+        g.add_edge(0, 2)
+        sim.nodes[2] = Beacon(NodeContext(sim, 2))
+        # The t=1 timer rebroadcast must see the refreshed audience.
+        sim.run()
+        assert (2.0, 2) in heard and (1.0, 1) in heard
+
+    def test_shared_audience_cache_not_stale_across_simulators(self):
+        heard = []
+
+        class Shout(ProtocolNode):
+            def on_start(self):
+                if self.node_id == 0:
+                    self.ctx.broadcast("HI")
+
+            def on_message(self, msg):
+                heard.append(self.node_id)
+
+        g = Graph(edges=[(0, 1)])
+        # First simulator memoizes the audience table for this graph.
+        BatchedSimulator(g, lambda ctx: Shout(ctx)).run()
+        assert heard == [1]
+        g.add_edge(0, 2)
+        # A fresh simulator on the mutated graph must rebuild, not
+        # serve the memoized 2-node table.
+        heard.clear()
+        BatchedSimulator(g, lambda ctx: Shout(ctx)).run()
+        assert sorted(heard) == [1, 2]

@@ -1,0 +1,136 @@
+"""The fleet runner: spawn workers over one shared topology.
+
+``repro.sim.fleet`` reuses the shard pool's machinery — spawn workers,
+a read-only :class:`SharedPositions` block, piggybacked telemetry
+frames — to sweep seeded trials.  The load-bearing promise is that a
+sweep's rows are *identical* whether it ran inline (``workers=0``) or
+scattered across workers, in the caller's seed order either way.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis.montecarlo import monte_carlo
+from repro.faults.chaos import run_chaos_matrix
+from repro.graphs import connected_random_udg
+from repro.obs import MetricsRegistry
+from repro.sim.fleet import BackboneTrial, ChaosTrial, FleetRunner, run_fleet
+
+pytest.importorskip("numpy")
+
+GRAPH = connected_random_udg(40, 4.0, seed=6)
+SEEDS = list(range(6))
+
+
+class TestInlinePath:
+    def test_rows_in_seed_order(self):
+        trial = BackboneTrial(algorithm="algorithm2")
+        rows = run_fleet(GRAPH, trial, SEEDS, workers=0)
+        assert len(rows) == len(SEEDS)
+        for row in rows:
+            assert {"backbone", "mis", "messages", "rounds"} <= set(row)
+
+    def test_empty_seeds_rejected(self):
+        with FleetRunner(GRAPH, workers=0) as fleet:
+            with pytest.raises(ValueError, match="no seeds"):
+                fleet.run(BackboneTrial(), [])
+
+    def test_inline_telemetry_counts_trials(self):
+        registry = MetricsRegistry()
+        run_fleet(GRAPH, BackboneTrial(), SEEDS, workers=0, registry=registry)
+        counter = registry.counter("fleet_trials_total", "")
+        assert counter.value == len(SEEDS)
+
+
+class TestWorkerParity:
+    def test_worker_rows_match_inline(self):
+        trial = BackboneTrial(algorithm="algorithm2")
+        inline = run_fleet(GRAPH, trial, SEEDS, workers=0)
+        spawned = run_fleet(GRAPH, trial, SEEDS, workers=2)
+        assert spawned == inline
+
+    def test_engines_agree_across_fleet(self):
+        batched = run_fleet(
+            GRAPH, BackboneTrial(engine="batched", jitter=True), SEEDS,
+            workers=2,
+        )
+        event = run_fleet(
+            GRAPH, BackboneTrial(engine="event", jitter=True), SEEDS,
+            workers=0,
+        )
+        assert batched == event
+
+    def test_chaos_trial_parity(self):
+        trial = ChaosTrial(algorithm="algorithm2", loss=0.1, crashes=1)
+        seeds = SEEDS[:3]
+        inline = run_fleet(GRAPH, trial, seeds, workers=0)
+        spawned = run_fleet(GRAPH, trial, seeds, workers=2)
+        assert spawned == inline
+        for row in inline:
+            assert row["valid"] == 1.0
+
+    def test_worker_telemetry_harvested(self):
+        registry = MetricsRegistry()
+        with FleetRunner(GRAPH, workers=2, registry=registry) as fleet:
+            fleet.run(BackboneTrial(), SEEDS)
+            merged = fleet.merged_telemetry()
+        assert "fleet_trials_total" in merged["families"]
+
+    def test_trace_stitching_exports_spans(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "fleet_trace.jsonl"
+        with FleetRunner(GRAPH, workers=2, registry=registry) as fleet:
+            fleet.run(BackboneTrial(), SEEDS[:4])
+            count = fleet.export_trace(str(path))
+        assert count > 0
+        assert path.exists()
+
+
+class TestRewiredEntryPoints:
+    def test_monte_carlo_routes_through_fleet(self):
+        aggregates = monte_carlo(
+            BackboneTrial(), SEEDS[:4], processes=0, graph=GRAPH
+        )
+        assert aggregates["backbone"].count == 4
+
+    def test_monte_carlo_rejects_unpicklable_graph_trial(self):
+        with pytest.raises(TypeError, match="picklable"):
+            monte_carlo(
+                lambda graph, seed: {"x": 1.0}, SEEDS[:2], graph=GRAPH
+            )
+
+    def test_chaos_matrix_rows(self):
+        rows = run_chaos_matrix(
+            GRAPH, SEEDS[:2], algorithm="algorithm2", loss=0.1, crashes=1,
+            workers=0,
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["valid"] == 1.0
+            assert row["survivors"] == GRAPH.num_nodes - 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        fleet = FleetRunner(GRAPH, workers=2)
+        fleet.run(BackboneTrial(), SEEDS[:2])
+        fleet.close()
+        fleet.close()
+
+    def test_dead_worker_reported(self):
+        fleet = FleetRunner(GRAPH, workers=2)
+        try:
+            for process, _ in fleet._procs[:1]:
+                process.terminate()
+                process.join(timeout=10)
+            with pytest.raises(RuntimeError, match="died mid-sweep"):
+                fleet.run(BackboneTrial(), SEEDS)
+        finally:
+            fleet.close()
+
+    def test_default_worker_count_bounded(self):
+        from repro.sim.fleet import _default_workers
+
+        assert 1 <= _default_workers() <= 8
+        assert _default_workers() <= max(1, os.cpu_count() or 1)
