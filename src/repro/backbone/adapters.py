@@ -68,6 +68,56 @@ register(CentralizedAlgorithm(
 ))
 
 
+# The optimality oracles of ``repro.opt`` import scipy/numpy machinery;
+# wrap them in lazy module-level functions so registering them keeps
+# ``import repro.backbone`` dependency-free (same trick as the sharded
+# adapter below).
+def _mds_exact(graph: Any) -> Any:
+    from repro.opt.exact import opt_minimum_dominating_set
+
+    return opt_minimum_dominating_set(graph)
+
+
+def _wcds_exact(graph: Any) -> Any:
+    from repro.opt.exact import opt_minimum_wcds
+
+    return opt_minimum_wcds(graph)
+
+
+def _cds_exact(graph: Any) -> Any:
+    from repro.opt.exact import opt_minimum_cds
+
+    return opt_minimum_cds(graph)
+
+
+def _mwds_greedy(graph: Any) -> Any:
+    from repro.opt.heuristics import greedy_mwds_wcds
+
+    return greedy_mwds_wcds(graph)
+
+
+register(CentralizedAlgorithm(
+    "mds-exact", _mds_exact,
+    description="LP-pruned exact minimum dominating set "
+    "(optimality oracle, feasible to n ≈ 60)",
+))
+register(CentralizedAlgorithm(
+    "wcds-exact", _wcds_exact,
+    description="LP-pruned exact minimum WCDS "
+    "(optimality oracle, feasible to n ≈ 60)",
+))
+register(CentralizedAlgorithm(
+    "cds-exact", _cds_exact,
+    description="LP-pruned exact minimum CDS "
+    "(optimality oracle, feasible to n ≈ 40)",
+))
+register(CentralizedAlgorithm(
+    "mwds-greedy", _mwds_greedy,
+    description="Greedy MWDS + 2-hop Steiner connection "
+    "(scalable WCDS upper-bound witness)",
+))
+
+
 @dataclass(frozen=True)
 class ShardedAlgorithm:
     """Adapter for the tiled Algorithm II construction.

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, FrozenSet, Hashable, Iterable, Optional, Set
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import is_connected
 from repro.mis.properties import is_dominating_set
 from repro.wcds.base import is_weakly_connected_dominating_set, weakly_induced_subgraph
@@ -97,7 +97,7 @@ def _search(
         # budget on glue nodes.
         if budget == 0:
             return None
-        for candidate in sorted(set(graph.nodes()) - selected, key=repr):
+        for candidate in canonical_order(set(graph.nodes()) - selected):
             selected.add(candidate)
             result = _search(graph, selected, budget - 1, connectivity_ok, seen)
             selected.discard(candidate)
@@ -106,14 +106,25 @@ def _search(
         return None
     if budget == 0:
         return None
-    # Coverage lower bound: each new node dominates at most Delta+1.
-    per_node = graph.max_degree() + 1
+    # Coverage lower bound: each further pick dominates at most as many
+    # undominated nodes as the best remaining candidate actually covers
+    # (tighter than the global Delta+1, which ignores both the current
+    # selection and which nodes are still white).
+    undominated_set = set(undominated)
+    per_node = max(
+        (
+            len(graph.closed_neighborhood(n) & undominated_set)
+            for n in graph.nodes()
+            if n not in selected
+        ),
+        default=0,
+    )
     if budget * per_node < len(undominated):
         return None
     # Branch on the undominated node with the smallest closed
     # neighborhood: one of those nodes must be selected.
-    pivot = min(undominated, key=lambda n: (graph.degree(n), repr(n)))
-    for candidate in sorted(graph.closed_neighborhood(pivot), key=repr):
+    pivot = min(canonical_order(undominated), key=graph.degree)
+    for candidate in canonical_order(graph.closed_neighborhood(pivot)):
         if candidate in selected:
             continue
         selected.add(candidate)
@@ -126,9 +137,19 @@ def _search(
 
 def certify_wcds_optimality(graph: Graph, size: int) -> bool:
     """True iff no WCDS smaller than ``size`` exists (used by ratio
-    tests to certify measured optima)."""
+    tests to certify measured optima).
+
+    Raises ``ValueError`` for ``size < 1`` — a WCDS is nonempty by
+    definition, so such a claim is vacuous and certifying it ``True``
+    (as this function once silently did) would let a broken caller
+    "certify" a nonsense optimum.
+    """
     _require_connected(graph)
-    if size <= 1:
+    if size < 1:
+        raise ValueError(
+            f"a WCDS has at least one node; size {size} is not certifiable"
+        )
+    if size == 1:
         return True
     for k in range(1, size):
         if _search(

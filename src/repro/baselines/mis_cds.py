@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Set, Tuple
 
-from repro.graphs.graph import Graph
+from repro.graphs.graph import Graph, canonical_order
 from repro.graphs.traversal import bfs_distances, is_connected, shortest_path
 from repro.mis.centralized import greedy_mis
 from repro.mis.properties import mis_overlay_graph
@@ -33,7 +33,7 @@ def mis_tree_cds(graph: Graph) -> Set[Hashable]:
     if len(mis) == 1:
         return set(mis)
     overlay = mis_overlay_graph(graph, mis, max_hops=3)
-    root = min(mis)
+    root = canonical_order(mis)[0]
     parents: Dict[Hashable, Hashable] = {}
     order = bfs_distances(overlay, root)
     if len(order) != len(mis):
@@ -42,10 +42,9 @@ def mis_tree_cds(graph: Graph) -> Set[Hashable]:
     for node in mis:
         if node == root:
             continue
-        parent = min(
-            (nbr for nbr in overlay.adjacency(node) if order[nbr] == order[node] - 1),
-            key=repr,
-        )
+        parent = canonical_order(
+            nbr for nbr in overlay.adjacency(node) if order[nbr] == order[node] - 1
+        )[0]
         path = shortest_path(graph, node, parent)
         if path is None or len(path) - 1 > 3:
             raise AssertionError("overlay edge without a <=3-hop path")

@@ -1047,6 +1047,67 @@ def cmd_montecarlo(args) -> int:
     return 0
 
 
+def cmd_opt_ratio(args) -> int:
+    """Measure empirical approximation ratios against certified optima."""
+    import json
+
+    from repro.opt import certified_optimum, measure_ratios, ratio_report
+
+    if args.trials < 1:
+        print("error: --trials must be at least 1", file=sys.stderr)
+        return 2
+    graph = _build(args)
+    algorithms = tuple(
+        _algorithm_name(name) for name in args.algorithms.split(",")
+    )
+    try:
+        certificate = certified_optimum(
+            graph, args.problem, exact_nodes=args.exact_nodes, lp=args.lp
+        )
+    except (RuntimeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    seeds = range(args.first_seed, args.first_seed + args.trials)
+    results = measure_ratios(
+        graph,
+        seeds,
+        algorithms=algorithms,
+        problem=args.problem,
+        certificate=certificate,
+        workers=args.workers,
+        engine=args.engine,
+    )
+    report = ratio_report(graph, results)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote ratio table to {args.json_out}")
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        cert = certificate.to_dict()
+        verdict = (
+            f"optimum {cert['optimum']}" if cert["certified"]
+            else f"sandwich [{cert['lower']}, {cert['upper']}]"
+        )
+        print_table(
+            report["algorithms"],
+            title=f"Empirical ratios vs {args.problem} {verdict} "
+            f"({cert['method']}, n={graph.num_nodes})",
+        )
+    violations = [
+        row["algorithm"] for row in report["algorithms"]
+        if not row["within_envelope"]
+    ]
+    for name in violations:
+        print(
+            f"ENVELOPE VIOLATED: {name} exceeded its proven ratio bound",
+            file=sys.stderr,
+        )
+    return 1 if violations else 0
+
+
 def cmd_check(args) -> int:
     import json
 
@@ -1370,6 +1431,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
     _add_engine_arg(p)
     p.set_defaults(func=cmd_montecarlo)
+
+    p = sub.add_parser(
+        "opt-ratio",
+        help="measure empirical approximation ratios against certified "
+        "optima from the LP-strengthened oracle (exit 1 when a measured "
+        "ratio exceeds its Theorem 5/10 envelope)",
+    )
+    _add_topology_args(p)
+    p.add_argument(
+        "--problem", choices=["mds", "wcds", "cds"], default="wcds",
+        help="which optimum to certify and rate against",
+    )
+    p.add_argument(
+        "--algorithms", default="algorithm1,algorithm2", metavar="LIST",
+        help="comma list of registry algorithms to sweep",
+    )
+    p.add_argument(
+        "--exact-nodes", type=int, default=60,
+        help="run the exact branch & bound up to this many nodes; "
+        "bigger deployments get a heuristic bound sandwich",
+    )
+    p.add_argument(
+        "--lp", choices=["auto", "on", "off"], default="auto",
+        help="LP-strengthened pruning: on (requires scipy), off "
+        "(combinatorial bounds only, bit-identical optima), or auto",
+    )
+    p.add_argument("--trials", type=int, default=8,
+                   help="number of protocol seeds to sweep per algorithm")
+    p.add_argument("--first-seed", type=int, default=0,
+                   help="first protocol seed")
+    p.add_argument("--workers", type=int, default=None,
+                   help="fleet worker processes (0 = inline)")
+    p.add_argument("--json-out", metavar="FILE",
+                   help="also write the JSON ratio table here (CI artifact)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    _add_engine_arg(p)
+    p.set_defaults(func=cmd_opt_ratio)
 
     p = sub.add_parser(
         "check",

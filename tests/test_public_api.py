@@ -54,6 +54,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.backbone",
     "repro.shard",
+    "repro.opt",
 ]
 
 
